@@ -1,0 +1,57 @@
+//! Criterion: local gate kernel cost vs target qubit index.
+//!
+//! The laptop-scale analogue of Table 1's local rows: per-gate cost of a
+//! Hadamard sweep as the target qubit rises through the register. On real
+//! hardware the cost is flat until the stride leaves the cache/NUMA
+//! domain — the same effect the paper measures at qubits 30–31.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qse_circuit::Gate;
+use qse_statevec::SingleState;
+use std::hint::black_box;
+
+const N_QUBITS: u32 = 20; // 1M amplitudes, 16 MB — well past cache.
+
+fn bench_hadamard_by_qubit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_hadamard_by_qubit");
+    let bytes = 32u64 << N_QUBITS; // read + write per sweep
+    group.throughput(Throughput::Bytes(bytes));
+    for q in [0u32, 4, 8, 12, 16, 18, 19] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            let mut state: SingleState = SingleState::zero_state(N_QUBITS);
+            b.iter(|| {
+                state.apply(black_box(&Gate::H(q)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_gate_kinds");
+    let gates = [
+        ("hadamard", Gate::H(5)),
+        ("pauli_x", Gate::X(5)),
+        ("diagonal_z", Gate::Z(5)),
+        (
+            "cphase",
+            Gate::CPhase {
+                a: 3,
+                b: 5,
+                theta: 0.25,
+            },
+        ),
+        ("cnot", Gate::CNot { control: 3, target: 5 }),
+        ("swap", Gate::Swap(2, 9)),
+    ];
+    for (name, gate) in gates {
+        group.bench_function(name, |b| {
+            let mut state: SingleState = SingleState::zero_state(N_QUBITS);
+            b.iter(|| state.apply(black_box(&gate)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hadamard_by_qubit, bench_gate_kinds);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! The paper's §2.3 stress circuits.
+//!
+//! "Two other benchmarking circuits were designed — the Hadamard gate
+//! benchmark and the SWAP gate benchmark. Their structure is simple,
+//! consisting of k gates applied sequentially to the same target qubits."
+//!
+//! A Hadamard benchmark on the last qubit is the worst-case simulation
+//! scenario: every gate is distributed (when the run spans multiple
+//! ranks), so the profile is pure communication (fig 5, left).
+
+use crate::circuit::Circuit;
+
+/// `k` Hadamard gates applied to `target`. The paper sweeps `target`
+/// across 0–37 with `k = 50` on 64 nodes (Table 1).
+pub fn hadamard_benchmark(n_qubits: u32, target: u32, k: usize) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    for _ in 0..k {
+        c.h(target);
+    }
+    c
+}
+
+/// `k` SWAP gates applied to `(a, b)`. The paper's fig 4 uses local
+/// targets {0, 4, 8, 12, 16} against distributed targets {35, 36, 37}
+/// with `k = 50`.
+pub fn swap_benchmark(n_qubits: u32, a: u32, b: u32, k: usize) -> Circuit {
+    let mut c = Circuit::new(n_qubits);
+    for _ in 0..k {
+        c.swap(a, b);
+    }
+    c
+}
+
+/// The paper's fig 4 target grid: every (local, distributed) combination.
+///
+/// `locals` and `globals` are the qubit index lists; the return value
+/// pairs them in row-major order, matching the figure's series.
+pub fn swap_benchmark_grid(locals: &[u32], globals: &[u32]) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::with_capacity(locals.len() * globals.len());
+    for &g in globals {
+        for &l in locals {
+            pairs.push((l, g));
+        }
+    }
+    pairs
+}
+
+/// The fig 4 experiment's published qubit choices (38-qubit register on
+/// 64 nodes): "we instead selected 5 local targets [0, 4, 8, 12, 16],
+/// and 3 distributed targets [35, 36, 37]".
+pub fn paper_swap_targets() -> (Vec<u32>, Vec<u32>) {
+    (vec![0, 4, 8, 12, 16], vec![35, 36, 37])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, GateClass, Layout};
+    use crate::gate::Gate;
+
+    #[test]
+    fn hadamard_benchmark_shape() {
+        let c = hadamard_benchmark(38, 31, 50);
+        assert_eq!(c.len(), 50);
+        assert!(c.gates().iter().all(|g| *g == Gate::H(31)));
+    }
+
+    #[test]
+    fn worst_case_is_all_distributed() {
+        let layout = Layout::new(38, 64);
+        let c = hadamard_benchmark(38, 37, 50);
+        assert!(c
+            .gates()
+            .iter()
+            .all(|g| classify(g, &layout) == GateClass::Distributed));
+    }
+
+    #[test]
+    fn low_qubit_hadamards_stay_local() {
+        let layout = Layout::new(38, 64);
+        let c = hadamard_benchmark(38, 29, 50);
+        assert!(c
+            .gates()
+            .iter()
+            .all(|g| classify(g, &layout) == GateClass::LocalMemory));
+    }
+
+    #[test]
+    fn swap_benchmark_shape() {
+        let c = swap_benchmark(38, 4, 36, 50);
+        assert_eq!(c.len(), 50);
+        assert!(c.gates().iter().all(|g| *g == Gate::Swap(4, 36)));
+    }
+
+    #[test]
+    fn paper_grid_has_15_series() {
+        let (locals, globals) = paper_swap_targets();
+        let grid = swap_benchmark_grid(&locals, &globals);
+        assert_eq!(grid.len(), 15);
+        assert_eq!(grid[0], (0, 35));
+        assert_eq!(grid[14], (16, 37));
+        // every pair mixes a local and a distributed target on 64 ranks
+        let layout = Layout::new(38, 64);
+        for (l, g) in grid {
+            assert!(layout.is_local(l));
+            assert!(!layout.is_local(g));
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Gate locality classification — the paper's §2.1 taxonomy.
+//!
+//! With the statevector split evenly across `2^r` ranks, the low
+//! `n − r` qubits are *local* (their amplitude pairs live within one rank)
+//! and the top `r` qubits are *global* (pairs span two ranks). Every gate
+//! then falls into one of three classes:
+//!
+//! * **fully local** — diagonal matrices: "each amplitude can be updated
+//!   without accessing other amplitudes";
+//! * **local memory** — block-diagonal with blocks no larger than a rank's
+//!   share: updates combine amplitudes on the same process;
+//! * **distributed** — "new amplitudes depend on amplitudes from other
+//!   processes": requires a pairwise exchange of the local statevector.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use qse_math::bits;
+use serde::{Deserialize, Serialize};
+
+/// How the register is split across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    n_qubits: u32,
+    rank_qubits: u32,
+}
+
+impl Layout {
+    /// Builds a layout for `n_qubits` over `n_ranks` ranks (a power of
+    /// two, as QuEST requires; at most `2^n_qubits`).
+    pub fn new(n_qubits: u32, n_ranks: u64) -> Self {
+        let rank_qubits = bits::log2_exact(n_ranks);
+        assert!(
+            rank_qubits <= n_qubits,
+            "{n_ranks} ranks need at least {rank_qubits} qubits, have {n_qubits}"
+        );
+        Layout {
+            n_qubits,
+            rank_qubits,
+        }
+    }
+
+    /// Register width.
+    #[inline]
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Number of ranks (`2^r`).
+    #[inline]
+    pub fn n_ranks(&self) -> u64 {
+        1u64 << self.rank_qubits
+    }
+
+    /// Number of global ("rank") qubits `r`.
+    #[inline]
+    pub fn rank_qubits(&self) -> u32 {
+        self.rank_qubits
+    }
+
+    /// Number of local qubits `n − r`.
+    #[inline]
+    pub fn local_qubits(&self) -> u32 {
+        self.n_qubits - self.rank_qubits
+    }
+
+    /// Amplitudes held by each rank.
+    #[inline]
+    pub fn local_amps(&self) -> u64 {
+        1u64 << self.local_qubits()
+    }
+
+    /// True when qubit `q`'s amplitude pairs stay within one rank.
+    #[inline]
+    pub fn is_local(&self, q: u32) -> bool {
+        q < self.local_qubits()
+    }
+
+    /// For a global qubit, the rank-address bit it corresponds to.
+    ///
+    /// The pair rank for a distributed gate on qubit `q` is
+    /// `rank XOR (1 << rank_bit(q))` (§2.1's pairwise communication).
+    #[inline]
+    pub fn rank_bit(&self, q: u32) -> u32 {
+        debug_assert!(!self.is_local(q), "qubit {q} is local");
+        q - self.local_qubits()
+    }
+
+    /// The communication partner of `rank` for a gate on global qubit `q`.
+    #[inline]
+    pub fn pair_rank(&self, rank: u64, q: u32) -> u64 {
+        rank ^ (1u64 << self.rank_bit(q))
+    }
+}
+
+/// The paper's three operator classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateClass {
+    /// Diagonal matrix; no amplitude ever reads another amplitude.
+    FullyLocal,
+    /// Amplitude pairs combine within one rank; memory traffic only.
+    LocalMemory,
+    /// Amplitude pairs span ranks; requires pairwise exchange.
+    Distributed,
+}
+
+/// Classifies one gate under a layout.
+pub fn classify(gate: &Gate, layout: &Layout) -> GateClass {
+    if gate.is_diagonal() {
+        return GateClass::FullyLocal;
+    }
+    match *gate {
+        Gate::Swap(a, b) => {
+            if layout.is_local(a) && layout.is_local(b) {
+                GateClass::LocalMemory
+            } else {
+                GateClass::Distributed
+            }
+        }
+        // A general two-qubit unitary mixes amplitudes across both of its
+        // qubits' pairings, so both must be local to avoid communication.
+        Gate::Unitary2 { a, b, .. } => {
+            if layout.is_local(a) && layout.is_local(b) {
+                GateClass::LocalMemory
+            } else {
+                GateClass::Distributed
+            }
+        }
+        // For every remaining gate (plain or controlled single-target),
+        // only the target's pairing matters: a global *control* merely
+        // masks which ranks participate, it never moves data.
+        ref g => {
+            if layout.is_local(g.target()) {
+                GateClass::LocalMemory
+            } else {
+                GateClass::Distributed
+            }
+        }
+    }
+}
+
+/// Communication summary of a circuit under a layout — what the paper's
+/// optimisations change. Byte counts are *per participating rank*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommSummary {
+    /// Gates in the fully-local (diagonal) class.
+    pub fully_local: usize,
+    /// Gates in the local-memory class.
+    pub local_memory: usize,
+    /// Gates requiring exchange.
+    pub distributed: usize,
+    /// Of the distributed gates, how many are SWAPs (half-exchangeable).
+    pub distributed_swaps: usize,
+    /// Bytes exchanged per rank with full exchanges everywhere.
+    pub bytes_full_exchange: u64,
+    /// Bytes exchanged per rank when SWAPs use the half exchange (the
+    /// paper's future-work optimisation, §4).
+    pub bytes_half_exchange_swaps: u64,
+}
+
+/// Bytes per amplitude: two `f64`s.
+pub const BYTES_PER_AMP: u64 = 16;
+
+/// Summarises a circuit's communication behaviour under `layout`.
+pub fn comm_summary(circuit: &Circuit, layout: &Layout) -> CommSummary {
+    let mut s = CommSummary::default();
+    let full = layout.local_amps() * BYTES_PER_AMP;
+    for g in circuit.gates() {
+        match classify(g, layout) {
+            GateClass::FullyLocal => s.fully_local += 1,
+            GateClass::LocalMemory => s.local_memory += 1,
+            GateClass::Distributed => {
+                s.distributed += 1;
+                s.bytes_full_exchange += full;
+                if matches!(g, Gate::Swap(..)) {
+                    s.distributed_swaps += 1;
+                    // Only amplitudes whose two swap bits differ move:
+                    // half the local vector.
+                    s.bytes_half_exchange_swaps += full / 2;
+                } else {
+                    s.bytes_half_exchange_swaps += full;
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qft::{cache_blocked_qft, qft};
+
+    #[test]
+    fn layout_arithmetic() {
+        let l = Layout::new(38, 64);
+        assert_eq!(l.rank_qubits(), 6);
+        assert_eq!(l.local_qubits(), 32);
+        assert_eq!(l.local_amps(), 1u64 << 32);
+        assert!(l.is_local(31));
+        assert!(!l.is_local(32));
+        assert_eq!(l.rank_bit(32), 0);
+        assert_eq!(l.rank_bit(37), 5);
+    }
+
+    #[test]
+    fn pair_rank_is_xor() {
+        let l = Layout::new(10, 8); // 7 local qubits
+        assert_eq!(l.pair_rank(0, 7), 1);
+        assert_eq!(l.pair_rank(5, 8), 7); // 0b101 ^ 0b010
+        assert_eq!(l.pair_rank(l.pair_rank(3, 9), 9), 3); // involution
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks need at least")]
+    fn too_many_ranks_rejected() {
+        Layout::new(2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_pow2_ranks_rejected() {
+        Layout::new(10, 6);
+    }
+
+    #[test]
+    fn single_rank_everything_at_worst_local_memory() {
+        let l = Layout::new(5, 1);
+        for g in [
+            Gate::H(4),
+            Gate::X(0),
+            Gate::Swap(0, 4),
+            Gate::CNot {
+                control: 4,
+                target: 3,
+            },
+        ] {
+            assert_ne!(classify(&g, &l), GateClass::Distributed, "{g}");
+        }
+    }
+
+    #[test]
+    fn diagonal_gates_are_fully_local_even_on_global_qubits() {
+        let l = Layout::new(8, 16); // 4 local
+        for g in [
+            Gate::Z(7),
+            Gate::S(6),
+            Gate::T(5),
+            Gate::Phase {
+                target: 7,
+                theta: 0.4,
+            },
+            Gate::CPhase {
+                a: 6,
+                b: 7,
+                theta: 0.2,
+            },
+            Gate::CZ(4, 7),
+            Gate::Rz {
+                target: 7,
+                theta: 1.0,
+            },
+        ] {
+            assert_eq!(classify(&g, &l), GateClass::FullyLocal, "{g}");
+        }
+    }
+
+    #[test]
+    fn nondiagonal_follow_target_locality() {
+        let l = Layout::new(8, 16); // local: 0..3
+        assert_eq!(classify(&Gate::H(3), &l), GateClass::LocalMemory);
+        assert_eq!(classify(&Gate::H(4), &l), GateClass::Distributed);
+        assert_eq!(classify(&Gate::X(7), &l), GateClass::Distributed);
+        // global control, local target: no communication
+        assert_eq!(
+            classify(
+                &Gate::CNot {
+                    control: 7,
+                    target: 0
+                },
+                &l
+            ),
+            GateClass::LocalMemory
+        );
+        // local control, global target: distributed
+        assert_eq!(
+            classify(
+                &Gate::CNot {
+                    control: 0,
+                    target: 7
+                },
+                &l
+            ),
+            GateClass::Distributed
+        );
+    }
+
+    #[test]
+    fn swap_locality() {
+        let l = Layout::new(8, 16);
+        assert_eq!(classify(&Gate::Swap(0, 3), &l), GateClass::LocalMemory);
+        assert_eq!(classify(&Gate::Swap(0, 4), &l), GateClass::Distributed);
+        assert_eq!(classify(&Gate::Swap(5, 7), &l), GateClass::Distributed);
+    }
+
+    #[test]
+    fn qft_summary_paper_scale() {
+        // 38 qubits, 64 ranks: 6 global qubits.
+        let l = Layout::new(38, 64);
+        let s = comm_summary(&qft(38), &l);
+        assert_eq!(s.distributed, 12); // 6 H + 6 SWAP
+        assert_eq!(s.distributed_swaps, 6);
+        // CPhases are all fully local.
+        assert_eq!(s.fully_local, (38 * 37 / 2) as usize);
+        let cb = comm_summary(&cache_blocked_qft(38, 30), &l);
+        assert_eq!(cb.distributed, 6); // SWAPs only
+        assert_eq!(cb.distributed_swaps, 6);
+        // Cache blocking halves exchanged bytes...
+        assert_eq!(cb.bytes_full_exchange * 2, s.bytes_full_exchange);
+        // ...and half-exchange SWAPs halve them again (paper §4).
+        assert_eq!(
+            cb.bytes_half_exchange_swaps * 2,
+            cb.bytes_full_exchange
+        );
+    }
+
+    #[test]
+    fn exchange_bytes_match_local_share() {
+        let l = Layout::new(10, 4); // 8 local qubits, 256 amps → 4096 B
+        let mut c = Circuit::new(10);
+        c.h(9); // one distributed gate
+        let s = comm_summary(&c, &l);
+        assert_eq!(s.bytes_full_exchange, 256 * 16);
+    }
+}

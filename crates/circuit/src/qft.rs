@@ -1,0 +1,268 @@
+//! Quantum Fourier Transform builders — fig 1a and fig 1b of the paper.
+//!
+//! The standard circuit ([`qft`]) processes qubit 0 first: a Hadamard,
+//! then controlled phases `π/2^d` coupling it to every later qubit, and so
+//! on, finishing with the bit-reversing SWAP network. Following the paper's
+//! figure, qubit 0 is therefore the most significant bit *of the
+//! transform* while remaining the least significant bit of the amplitude
+//! index (QuEST storage). The statevector tests pin the exact semantics:
+//! `QFT |x⟩ = N^{-1/2} Σ_k ω^{rev(x)·rev(k)} |k⟩` where `rev` reverses the
+//! `n`-bit pattern.
+//!
+//! The cache-blocked variant ([`cache_blocked_qft`]) is the paper's §2.3
+//! construction: the trailing SWAPs are shifted left so that every
+//! Hadamard after them lands on a *local* qubit once flipped. The
+//! correctness argument is an exact operator identity: for a circuit
+//! `[A, B, P]` with `P` a product of disjoint SWAPs realising an
+//! involution `π`, the circuit `[A, P, flip_π(B)]` applies the same
+//! operator, because `flip_π(B) = P B P⁻¹` as an operator and
+//! `P B P⁻¹ · P · A = P B A`.
+
+use crate::circuit::Circuit;
+use crate::gate::{qft_cphase, Gate};
+
+/// Builds the standard `n`-qubit QFT of fig 1a: per-qubit Hadamard +
+/// controlled-phase blocks, then the final SWAP network.
+pub fn qft(n: u32) -> Circuit {
+    let mut c = Circuit::new(n);
+    for j in 0..n {
+        c.h(j);
+        for m in (j + 1)..n {
+            c.push(qft_cphase(j, m));
+        }
+    }
+    append_reversal_swaps(&mut c);
+    c
+}
+
+/// Builds the inverse QFT (adjoint of [`qft`]).
+pub fn inverse_qft(n: u32) -> Circuit {
+    qft(n).inverse()
+}
+
+/// Appends the bit-reversing SWAP network `Swap(i, n-1-i)`.
+fn append_reversal_swaps(c: &mut Circuit) {
+    let n = c.n_qubits();
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+}
+
+/// The largest register a split point must respect: with `local` local
+/// qubits, a valid split lies in `[n − local, local]` (inclusive). Returns
+/// the paper's preferred split: two below the local window top, to keep
+/// flipped Hadamards out of the NUMA-penalised top-of-window strides —
+/// "the swaps are done after the 30th Hadamard gate to prevent any
+/// increase in gate execution time" (§3.2: n = 38, 32 local qubits,
+/// split = 30).
+pub fn default_split(n: u32, local_qubits: u32) -> u32 {
+    assert!(
+        valid_split_range(n, local_qubits).is_some(),
+        "{n} qubits cannot be cache-blocked with {local_qubits} local qubits"
+    );
+    let lo = n.saturating_sub(local_qubits);
+    let hi = local_qubits;
+    local_qubits.saturating_sub(2).clamp(lo, hi)
+}
+
+/// The inclusive range of valid split points, or `None` when the register
+/// is more than twice the local window (one SWAP layer cannot localise
+/// every Hadamard then).
+pub fn valid_split_range(n: u32, local_qubits: u32) -> Option<(u32, u32)> {
+    let lo = n.saturating_sub(local_qubits);
+    let hi = local_qubits.min(n);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Builds the cache-blocked QFT of fig 1b.
+///
+/// `split` is the number of Hadamard blocks executed before the SWAP
+/// layer; blocks after it are "vertically flipped" (`q → n−1−q`). With
+/// `split` in the valid range for `local_qubits` (see
+/// [`valid_split_range`]), every Hadamard in the result acts on a local
+/// qubit and the only distributed operations are SWAPs.
+///
+/// # Panics
+/// Panics when `split > n` — an impossible insertion point. (A split
+/// outside the *valid* range still builds a correct circuit, it just
+/// leaves some Hadamards distributed; callers use [`default_split`].)
+pub fn cache_blocked_qft(n: u32, split: u32) -> Circuit {
+    assert!(split <= n, "split {split} exceeds qubit count {n}");
+    let standard = qft(n);
+    let gates = standard.gates();
+    let n_swaps = (n / 2) as usize;
+    let body = &gates[..gates.len() - n_swaps];
+
+    // Locate the start of Hadamard block `split` in the body.
+    let mut h_seen = 0u32;
+    let mut cut = body.len();
+    for (i, g) in body.iter().enumerate() {
+        if matches!(g, Gate::H(_)) {
+            if h_seen == split {
+                cut = i;
+                break;
+            }
+            h_seen += 1;
+        }
+    }
+
+    let flip = move |q: u32| n - 1 - q;
+    let mut c = Circuit::new(n);
+    for g in &body[..cut] {
+        c.push(g.clone());
+    }
+    append_reversal_swaps(&mut c);
+    for g in &body[cut..] {
+        c.push(g.remap(&flip));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, GateClass, Layout};
+
+    #[test]
+    fn qft_gate_counts() {
+        let n = 8;
+        let c = qft(n);
+        let counts = c.gate_counts();
+        assert_eq!(counts["H"], n as usize);
+        assert_eq!(counts["CPhase"], (n * (n - 1) / 2) as usize);
+        assert_eq!(counts["Swap"], (n / 2) as usize);
+        assert_eq!(c.len(), (n + n * (n - 1) / 2 + n / 2) as usize);
+    }
+
+    #[test]
+    fn qft_single_qubit_is_hadamard() {
+        let c = qft(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.gates()[0], Gate::H(0));
+    }
+
+    #[test]
+    fn qft_phases_decay_geometrically() {
+        let c = qft(4);
+        // First block: H(0), CP(0,1,π/2), CP(0,2,π/4), CP(0,3,π/8)
+        match c.gates()[1] {
+            Gate::CPhase { a: 0, b: 1, theta } => {
+                assert!((theta - std::f64::consts::FRAC_PI_2).abs() < 1e-12)
+            }
+            ref g => panic!("unexpected gate {g}"),
+        }
+        match c.gates()[3] {
+            Gate::CPhase { a: 0, b: 3, theta } => {
+                assert!((theta - std::f64::consts::PI / 8.0).abs() < 1e-12)
+            }
+            ref g => panic!("unexpected gate {g}"),
+        }
+    }
+
+    #[test]
+    fn inverse_qft_has_same_size() {
+        assert_eq!(inverse_qft(6).len(), qft(6).len());
+    }
+
+    #[test]
+    fn cache_blocked_preserves_gate_multiset_sizes() {
+        let n = 10;
+        let cb = cache_blocked_qft(n, 7);
+        let counts = cb.gate_counts();
+        assert_eq!(counts["H"], n as usize);
+        assert_eq!(counts["CPhase"], (n * (n - 1) / 2) as usize);
+        assert_eq!(counts["Swap"], (n / 2) as usize);
+    }
+
+    #[test]
+    fn cache_blocked_hadamards_all_local() {
+        // n = 10 qubits over 4 ranks → 8 local qubits; split in [2, 8].
+        let n = 10;
+        let layout = Layout::new(n, 4);
+        assert_eq!(layout.local_qubits(), 8);
+        let split = default_split(n, layout.local_qubits());
+        assert!((2..=8).contains(&split));
+        let cb = cache_blocked_qft(n, split);
+        for g in cb.gates() {
+            if matches!(g, Gate::H(_)) {
+                assert_eq!(
+                    classify(g, &layout),
+                    GateClass::LocalMemory,
+                    "H not local after cache blocking: {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn standard_qft_has_distributed_hadamards() {
+        let n = 10;
+        let layout = Layout::new(n, 4);
+        let distributed_h = qft(n)
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::H(_)))
+            .filter(|g| classify(g, &layout) == GateClass::Distributed)
+            .count();
+        assert_eq!(distributed_h, 2); // qubits 8 and 9
+    }
+
+    #[test]
+    fn cache_blocking_halves_distributed_gates_paper_scale() {
+        // Paper scale: 38 qubits on 64 ranks (32 local). Built-in QFT has
+        // 6 distributed H + 6 distributed SWAPs; cache-blocked only the 6
+        // distributed SWAPs.
+        let n = 38;
+        let layout = Layout::new(n, 64);
+        let count_distributed = |c: &Circuit| {
+            c.gates()
+                .iter()
+                .filter(|g| classify(g, &layout) == GateClass::Distributed)
+                .count()
+        };
+        let built_in = count_distributed(&qft(n));
+        let fast = count_distributed(&cache_blocked_qft(n, 30));
+        assert_eq!(built_in, 12);
+        assert_eq!(fast, 6);
+    }
+
+    #[test]
+    fn split_range_and_default() {
+        assert_eq!(valid_split_range(38, 32), Some((6, 32)));
+        assert_eq!(default_split(38, 32), 30);
+        assert_eq!(valid_split_range(44, 32), Some((12, 32)));
+        assert_eq!(default_split(44, 32), 30);
+        // window too small: 20 qubits with only 8 local
+        assert_eq!(valid_split_range(20, 8), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be cache-blocked")]
+    fn default_split_rejects_tiny_windows() {
+        default_split(20, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds qubit count")]
+    fn oversized_split_rejected() {
+        cache_blocked_qft(6, 7);
+    }
+
+    #[test]
+    fn split_zero_flips_everything() {
+        let n = 6;
+        let cb = cache_blocked_qft(n, 0);
+        // Circuit starts with the swap layer.
+        for (i, g) in cb.gates().iter().take((n / 2) as usize).enumerate() {
+            assert_eq!(*g, Gate::Swap(i as u32, n - 1 - i as u32));
+        }
+        // First post-swap gate is the flipped H(0) → H(5).
+        assert_eq!(cb.gates()[(n / 2) as usize], Gate::H(5));
+    }
+
+    #[test]
+    fn split_n_keeps_standard_shape() {
+        // split = n leaves the body untouched: identical to standard QFT.
+        assert_eq!(cache_blocked_qft(9, 9), qft(9));
+    }
+}

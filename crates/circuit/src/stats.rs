@@ -1,0 +1,167 @@
+//! Circuit structure statistics: depth, layers, qubit activity.
+//!
+//! The cost model charges gates sequentially (QuEST applies one gate at a
+//! time across the whole machine), but depth and layer structure matter
+//! for reporting and for reasoning about how much fusion/cache-blocking
+//! can help: a circuit whose distributed gates cluster on few qubits
+//! amortises SWAPs much better than one that scatters them.
+
+use crate::circuit::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate structural statistics for one circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Register width.
+    pub n_qubits: u32,
+    /// Total gates.
+    pub gate_count: usize,
+    /// Circuit depth (longest chain of dependent gates).
+    pub depth: usize,
+    /// Gates per qubit (index = qubit).
+    pub gates_per_qubit: Vec<usize>,
+    /// Number of two-qubit gates.
+    pub two_qubit_gates: usize,
+}
+
+impl CircuitStats {
+    /// The busiest qubit and its gate count.
+    pub fn hottest_qubit(&self) -> (u32, usize) {
+        self.gates_per_qubit
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(q, &c)| (q as u32, c))
+            .expect("non-empty register")
+    }
+}
+
+/// Computes structural statistics.
+pub fn stats(circuit: &Circuit) -> CircuitStats {
+    let n = circuit.n_qubits();
+    let mut per_qubit = vec![0usize; n as usize];
+    let mut frontier = vec![0usize; n as usize]; // depth reached per qubit
+    let mut depth = 0usize;
+    let mut two_qubit = 0usize;
+    for g in circuit.gates() {
+        let qubits = g.qubits();
+        if qubits.len() == 2 {
+            two_qubit += 1;
+        }
+        let level = 1 + qubits
+            .iter()
+            .map(|&q| frontier[q as usize])
+            .max()
+            .expect("gates touch ≥1 qubit");
+        for &q in &qubits {
+            per_qubit[q as usize] += 1;
+            frontier[q as usize] = level;
+        }
+        depth = depth.max(level);
+    }
+    CircuitStats {
+        n_qubits: n,
+        gate_count: circuit.len(),
+        depth,
+        gates_per_qubit: per_qubit,
+        two_qubit_gates: two_qubit,
+    }
+}
+
+/// Greedy layering: partitions gate indices into parallel layers (gates
+/// within a layer touch disjoint qubits). Reported by examples; the
+/// sequential cost model does not use it.
+pub fn layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let n = circuit.n_qubits() as usize;
+    let mut frontier = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for (i, g) in circuit.gates().iter().enumerate() {
+        let level = g
+            .qubits()
+            .iter()
+            .map(|&q| frontier[q as usize])
+            .max()
+            .expect("gates touch ≥1 qubit");
+        if level == out.len() {
+            out.push(Vec::new());
+        }
+        out[level].push(i);
+        for q in g.qubits() {
+            frontier[q as usize] = level + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::ghz;
+    use crate::qft::qft;
+
+    #[test]
+    fn empty_circuit_stats() {
+        let s = stats(&Circuit::new(3));
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.gate_count, 0);
+        assert_eq!(s.two_qubit_gates, 0);
+        assert_eq!(s.gates_per_qubit, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn ghz_depth_is_sequential() {
+        // H(0), then each CNOT depends on qubit 0: depth = n.
+        let s = stats(&ghz(5));
+        assert_eq!(s.depth, 5);
+        assert_eq!(s.two_qubit_gates, 4);
+        assert_eq!(s.hottest_qubit().0, 0);
+        assert_eq!(s.hottest_qubit().1, 5);
+    }
+
+    #[test]
+    fn parallel_gates_share_depth() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3).cnot(0, 1).cnot(2, 3);
+        let s = stats(&c);
+        assert_eq!(s.depth, 2);
+        let l = layers(&c);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0], vec![0, 1, 2, 3]);
+        assert_eq!(l[1], vec![4, 5]);
+    }
+
+    #[test]
+    fn layers_cover_all_gates_disjointly() {
+        let c = qft(6);
+        let l = layers(&c);
+        let mut seen = vec![false; c.len()];
+        for layer in &l {
+            // within a layer, qubit sets are disjoint
+            let mut used = std::collections::HashSet::new();
+            for &i in layer {
+                assert!(!seen[i]);
+                seen[i] = true;
+                for q in c.gates()[i].qubits() {
+                    assert!(used.insert(q), "layer reuses qubit {q}");
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+        // depth equals layer count
+        assert_eq!(l.len(), stats(&c).depth);
+    }
+
+    #[test]
+    fn qft_gate_totals() {
+        let n = 8u32;
+        let s = stats(&qft(n));
+        assert_eq!(
+            s.gate_count,
+            (n + n * (n - 1) / 2 + n / 2) as usize
+        );
+        assert_eq!(
+            s.two_qubit_gates,
+            (n * (n - 1) / 2 + n / 2) as usize
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! General cache-blocking transpiler.
+//!
+//! Keeps a *layout* (logical qubit → physical position) and rewrites the
+//! circuit so that every communication-requiring gate is preceded by a
+//! SWAP that drags its target into the local window. Input SWAP gates are
+//! absorbed into the layout for free ("virtual swaps"), which is exactly
+//! why the QFT cache-blocks so well — its trailing SWAP network costs
+//! nothing, and only the physical SWAPs inserted for formerly-global
+//! targets communicate.
+//!
+//! ## Contract
+//!
+//! For input circuit `C` the pass returns a physical circuit `T` and a
+//! final layout `π` such that, as operators, `T = Π(π) · C`, where `Π(π)`
+//! permutes qubit `q` to position `π(q)`. Equivalently: running `T` and
+//! then un-permuting through `π` reproduces `C` exactly. Integration
+//! tests in the statevector crate verify this amplitude-for-amplitude.
+
+use crate::circuit::Circuit;
+use crate::classify::Layout;
+use crate::gate::Gate;
+use crate::permutation::Permutation;
+
+/// Result of the cache-blocking pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transpiled {
+    /// The rewritten (physical) circuit.
+    pub circuit: Circuit,
+    /// Final layout: logical qubit `q` ends at physical position
+    /// `layout.apply(q)`.
+    pub layout: Permutation,
+}
+
+impl Transpiled {
+    /// Appends explicit SWAPs that restore the identity layout, producing
+    /// a circuit strictly equivalent to the original (at the cost of the
+    /// restoring communication). Useful when downstream code cannot track
+    /// a permuted output.
+    ///
+    /// Gate application composes right-to-left (`[s1, s2]` applies
+    /// `Π(τ2)·Π(τ1)`), while [`Permutation::as_transpositions`] lists
+    /// factors left-to-right, so the list is emitted reversed.
+    pub fn with_layout_restored(&self) -> Circuit {
+        let mut c = self.circuit.clone();
+        let mut swaps = self.layout.inverse().as_transpositions();
+        swaps.reverse();
+        for (a, b) in swaps {
+            c.swap(a, b);
+        }
+        c
+    }
+}
+
+/// Which local slot to evict when a global target must be swapped in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimPolicy {
+    /// Evict the least-recently-used slot — cheap, online, the classic
+    /// heuristic.
+    #[default]
+    Lru,
+    /// Evict the slot whose occupant is next used furthest in the future
+    /// (Bélády's optimal replacement) — possible here because the whole
+    /// circuit is known ahead of time, unlike a hardware cache.
+    FurthestUse,
+}
+
+/// Runs the cache-blocking pass with the default (LRU) victim policy.
+pub fn cache_block(circuit: &Circuit, local_qubits: u32) -> Transpiled {
+    cache_block_with(circuit, local_qubits, VictimPolicy::Lru)
+}
+
+/// Runs the cache-blocking pass for a rank layout with `local_qubits`
+/// local positions.
+///
+/// Gates whose physical target already sits in the local window pass
+/// through; a gate with a global physical target gets a SWAP inserted
+/// that exchanges the target with a victim local position chosen by
+/// `policy` (excluding positions the gate itself touches). Diagonal
+/// gates never trigger SWAPs — they are "fully local" at any position.
+pub fn cache_block_with(
+    circuit: &Circuit,
+    local_qubits: u32,
+    policy: VictimPolicy,
+) -> Transpiled {
+    let n = circuit.n_qubits();
+    assert!(
+        local_qubits >= 1 && local_qubits <= n,
+        "local window must be within the register"
+    );
+    // At least 2 local positions are needed when the gate being localised
+    // also uses a local control; 1 works for plain single-qubit gates.
+    let mut phys_of: Vec<u32> = (0..n).collect(); // logical -> physical
+    let mut log_of: Vec<u32> = (0..n).collect(); // physical -> logical
+    let mut last_use: Vec<u64> = vec![0; n as usize]; // by physical slot
+    let mut clock: u64 = 0;
+
+    // For Bélády: every input-gate index at which each logical qubit is
+    // used, ascending; next use is found by binary search past `clock`.
+    let uses: Vec<Vec<u64>> = {
+        let mut uses = vec![Vec::new(); n as usize];
+        for (i, g) in circuit.gates().iter().enumerate() {
+            for q in g.qubits() {
+                uses[q as usize].push(i as u64 + 1); // clock is 1-based
+            }
+        }
+        uses
+    };
+    let next_use = |logical: u32, now: u64| -> u64 {
+        let u = &uses[logical as usize];
+        match u.partition_point(|&t| t <= now) {
+            i if i < u.len() => u[i],
+            _ => u64::MAX, // never used again: the perfect victim
+        }
+    };
+
+    let mut out = Circuit::new(n);
+    for gate in circuit.gates() {
+        clock += 1;
+        // Virtual swap: pure layout bookkeeping, no emitted gate.
+        if let Gate::Swap(a, b) = *gate {
+            let (pa, pb) = (phys_of[a as usize], phys_of[b as usize]);
+            phys_of.swap(a as usize, b as usize);
+            log_of.swap(pa as usize, pb as usize);
+            last_use[pa as usize] = clock;
+            last_use[pb as usize] = clock;
+            continue;
+        }
+
+        let mut physical = gate.remap(&|q: u32| phys_of[q as usize]);
+        if !physical.is_diagonal() {
+            // The positions this gate needs inside the local window: the
+            // target for single-target gates, *both* qubits for a general
+            // two-qubit unitary (its orbits pair on both).
+            loop {
+                let needs_local = match physical {
+                    Gate::Unitary2 { a, b, .. } => vec![a, b],
+                    ref g => vec![g.target()],
+                };
+                let Some(&offender) = needs_local.iter().find(|&&p| p >= local_qubits)
+                else {
+                    break;
+                };
+                // Choose the victim local slot (not touched by this gate).
+                let in_gate = physical.qubits();
+                let victim = match policy {
+                    VictimPolicy::Lru => (0..local_qubits)
+                        .filter(|p| !in_gate.contains(p))
+                        .min_by_key(|&p| last_use[p as usize]),
+                    VictimPolicy::FurthestUse => (0..local_qubits)
+                        .filter(|p| !in_gate.contains(p))
+                        .max_by_key(|&p| next_use(log_of[p as usize], clock)),
+                }
+                .expect("local window big enough for a victim slot");
+                out.swap(victim, offender);
+                // The logical occupants of `victim` and `offender`
+                // exchange physical positions.
+                let (la, lb) = (log_of[victim as usize], log_of[offender as usize]);
+                phys_of.swap(la as usize, lb as usize);
+                log_of.swap(victim as usize, offender as usize);
+                last_use[victim as usize] = clock;
+                physical = gate.remap(&|q: u32| phys_of[q as usize]);
+            }
+        }
+        for p in physical.qubits() {
+            last_use[p as usize] = clock;
+        }
+        out.push(physical);
+    }
+
+    Transpiled {
+        circuit: out,
+        layout: Permutation::from_map(phys_of),
+    }
+}
+
+/// Convenience: runs the pass for an explicit rank [`Layout`].
+pub fn cache_block_for(circuit: &Circuit, layout: &Layout) -> Transpiled {
+    cache_block(circuit, layout.local_qubits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, comm_summary, GateClass, Layout};
+    use crate::qft::qft;
+    use crate::random::{random_circuit, GatePool};
+
+    #[test]
+    fn local_circuit_passes_through_unchanged() {
+        let mut c = Circuit::new(6);
+        c.h(0).cnot(1, 2).t(3);
+        let t = cache_block(&c, 6);
+        assert_eq!(t.circuit, c);
+        assert!(t.layout.is_identity());
+    }
+
+    #[test]
+    fn swaps_are_virtualised() {
+        let mut c = Circuit::new(4);
+        c.swap(0, 3).h(3); // after the swap, logical 3 sits at physical 0
+        let t = cache_block(&c, 2);
+        // No swap emitted; the H lands on physical 0.
+        assert_eq!(t.circuit.gates(), &[Gate::H(0)]);
+        assert_eq!(t.layout.apply(3), 0);
+        assert_eq!(t.layout.apply(0), 3);
+    }
+
+    #[test]
+    fn global_target_triggers_one_swap() {
+        let mut c = Circuit::new(4);
+        c.h(3);
+        let t = cache_block(&c, 2); // physical locals: 0, 1
+        let gates = t.circuit.gates();
+        assert_eq!(gates.len(), 2);
+        assert!(matches!(gates[0], Gate::Swap(_, 3)));
+        assert!(matches!(gates[1], Gate::H(p) if p < 2));
+    }
+
+    #[test]
+    fn repeated_gates_amortise_the_swap() {
+        // 50 H's on a global qubit: one swap then 50 local H's — the
+        // paper's "it can be compensated if the target is frequently
+        // acted on" (§2.2).
+        let c = crate::benchmarks::hadamard_benchmark(8, 7, 50);
+        let t = cache_block(&c, 4);
+        let layout = Layout::new(8, 16);
+        let distributed = t
+            .circuit
+            .gates()
+            .iter()
+            .filter(|g| classify(g, &layout) == GateClass::Distributed)
+            .count();
+        assert_eq!(distributed, 1);
+        assert_eq!(t.circuit.gate_counts()["H"], 50);
+        assert_eq!(t.circuit.gate_counts()["Swap"], 1);
+    }
+
+    #[test]
+    fn diagonal_gates_never_trigger_swaps() {
+        let mut c = Circuit::new(6);
+        c.cphase(4, 5, 0.3).z(5).s(4).phase(5, 0.1);
+        let t = cache_block(&c, 2);
+        assert_eq!(t.circuit.gate_counts().get("Swap"), None);
+        assert!(t.layout.is_identity());
+    }
+
+    #[test]
+    fn qft_cache_blocks_to_swap_only_communication() {
+        // Matches the hand construction: on the QFT, the general pass
+        // leaves exactly the rank-qubit count of distributed SWAPs.
+        let n = 12;
+        let layout = Layout::new(n, 8); // 9 local, 3 global
+        let t = cache_block_for(&qft(n), &layout);
+        let s = comm_summary(&t.circuit, &layout);
+        assert_eq!(s.distributed, 3);
+        assert_eq!(s.distributed_swaps, 3);
+        // Far fewer than the untranspiled circuit.
+        let orig = comm_summary(&qft(n), &layout);
+        assert_eq!(orig.distributed, 6); // 3 H + 3 swaps
+    }
+
+    #[test]
+    fn controls_may_stay_global() {
+        let mut c = Circuit::new(4);
+        c.cnot(3, 0); // global control, local target: no swap needed
+        let t = cache_block(&c, 2);
+        assert_eq!(
+            t.circuit.gates(),
+            &[Gate::CNot {
+                control: 3,
+                target: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn layout_restoration_appends_swaps() {
+        let mut c = Circuit::new(4);
+        c.swap(0, 3).h(1);
+        let t = cache_block(&c, 2);
+        assert!(!t.layout.is_identity());
+        let restored = t.with_layout_restored();
+        assert!(restored.gate_counts()["Swap"] >= 1);
+    }
+
+    #[test]
+    fn gate_multiset_preserved_modulo_swaps() {
+        // The pass may add/remove Swap gates but never touches others.
+        let c = random_circuit(8, 120, GatePool::Full, 99);
+        let t = cache_block(&c, 5);
+        let mut before = c.gate_counts();
+        let mut after = t.circuit.gate_counts();
+        before.remove("Swap");
+        after.remove("Swap");
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn all_emitted_nonswap_gates_have_local_targets() {
+        let c = random_circuit(9, 200, GatePool::Full, 5);
+        let local = 5;
+        let t = cache_block(&c, local);
+        for g in t.circuit.gates() {
+            if !matches!(g, Gate::Swap(..)) && !g.is_diagonal() {
+                assert!(g.target() < local, "global target leaked: {g}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "local window")]
+    fn zero_window_rejected() {
+        cache_block(&Circuit::new(3), 0);
+    }
+
+    #[test]
+    fn furthest_use_keeps_hot_qubits_resident() {
+        // Alternating H's on two global qubits with a cold local window:
+        // LRU evicts the slot that is about to be needed, Bélády keeps
+        // both hot qubits resident after the initial two swaps.
+        let n = 4u32;
+        let mut c = Circuit::new(n);
+        for _ in 0..6 {
+            c.h(2).h(3);
+        }
+        let swaps = |policy: VictimPolicy| {
+            cache_block_with(&c, 2, policy)
+                .circuit
+                .gate_counts()
+                .get("Swap")
+                .copied()
+                .unwrap_or(0)
+        };
+        let belady = swaps(VictimPolicy::FurthestUse);
+        assert_eq!(belady, 2, "two swap-ins, then everything stays local");
+        assert!(swaps(VictimPolicy::Lru) >= belady);
+    }
+
+    #[test]
+    fn furthest_use_never_needs_more_swaps_in_aggregate() {
+        let mut lru_total = 0usize;
+        let mut belady_total = 0usize;
+        for seed in 0..20 {
+            let c = random_circuit(9, 80, GatePool::Full, seed + 500);
+            let count = |policy: VictimPolicy| {
+                cache_block_with(&c, 5, policy)
+                    .circuit
+                    .gate_counts()
+                    .get("Swap")
+                    .copied()
+                    .unwrap_or(0)
+            };
+            lru_total += count(VictimPolicy::Lru);
+            belady_total += count(VictimPolicy::FurthestUse);
+        }
+        assert!(
+            belady_total <= lru_total,
+            "Bélády {belady_total} vs LRU {lru_total}"
+        );
+    }
+
+    #[test]
+    fn furthest_use_satisfies_the_same_contract() {
+        // Semantics contract holds for the optimal policy too.
+        let c = random_circuit(7, 60, GatePool::Full, 321);
+        let t = cache_block_with(&c, 4, VictimPolicy::FurthestUse);
+        for g in t.circuit.gates() {
+            if matches!(g, Gate::Swap(..)) || g.is_diagonal() {
+                continue;
+            }
+            if let Gate::Unitary2 { a, b, .. } = *g {
+                assert!(a < 4 && b < 4, "2q unitary not localised: {g}");
+            } else {
+                assert!(g.target() < 4, "target not localised: {g}");
+            }
+        }
+        let mut before = c.gate_counts();
+        let mut after = t.circuit.gate_counts();
+        before.remove("Swap");
+        after.remove("Swap");
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,22 @@
+//! Circuit transformations: cache-blocking and diagonal fusion.
+//!
+//! The paper's §2.2 optimisation (3) is "transpiling the circuit to reduce
+//! communication via cache-blocking". Two implementations live here:
+//!
+//! * the QFT-specific SWAP-shift of fig 1b is in [`crate::qft`] (it needs
+//!   no new gates because the QFT already ends in SWAPs);
+//! * [`cache_blocking`] is the *general* pass — "it would also be useful
+//!   to implement a cache-blocking transpiler" (§4 future work) — in the
+//!   style of Doi & Horii's technique that Qiskit and cuQuantum use.
+//!
+//! [`fusion`] segments maximal runs of diagonal gates, modelling QuEST's
+//! more efficient application of controlled phase gates (§3.2): a run of
+//! diagonal gates can be applied in a single sweep over the statevector.
+
+pub mod cache_blocking;
+pub mod fusion;
+pub mod scheduling;
+
+pub use cache_blocking::{cache_block, Transpiled};
+pub use fusion::{diagonal_runs, DiagonalRun};
+pub use scheduling::sink_diagonals;

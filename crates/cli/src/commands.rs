@@ -1,0 +1,371 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgError, Args};
+use qse_circuit::algorithms::{bernstein_vazirani, ghz, grover, grover_optimal_iterations};
+use qse_circuit::classify::{comm_summary, Layout};
+use qse_circuit::qft::{cache_blocked_qft, default_split, qft, valid_split_range};
+use qse_circuit::transpile::cache_blocking::cache_block;
+use qse_circuit::Circuit;
+use qse_core::experiment::{fmt_seconds, TextTable};
+use qse_core::scaling::nodes_for;
+use qse_core::{ModelExecutor, SimConfig, ThreadClusterExecutor};
+use qse_machine::energy::{format_energy, joules_to_kwh};
+use qse_machine::trace::SacctRecord;
+use qse_machine::variants::gpu_machine;
+use qse_machine::{archer2, CpuFrequency, NodeKind};
+
+/// Runs the parsed command, returning the text to print.
+pub fn dispatch(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "help" => Ok(help_text()),
+        "info" => info(args),
+        "run" => run(args),
+        "model" => model(args),
+        "sweep" => sweep(args),
+        "transpile" => transpile(args),
+        other => Err(ArgError(format!(
+            "unknown command `{other}`; try `qse help`"
+        ))),
+    }
+}
+
+/// The help screen.
+pub fn help_text() -> String {
+    "qse — quantum statevector simulation & energy modelling\n\
+     \n\
+     USAGE: qse <command> [flags]\n\
+     \n\
+     COMMANDS\n\
+       help                         this screen\n\
+       info  [--gpu]                machine description\n\
+       run   --qubits N [--ranks R] [--circuit qft|ghz|grover|bv]\n\
+             [--non-blocking] [--half-swaps] [--fuse K] [--basis B]\n\
+                                    execute on the thread cluster (measured)\n\
+       model --qubits N [--nodes M] [--node-kind standard|highmem]\n\
+             [--freq low|medium|high] [--circuit ...] [--fast] [--gpu]\n\
+                                    ARCHER2 model estimate (runtime/energy/CU)\n\
+       sweep [--from A] [--to B] [--fast] [--gpu]\n\
+                                    fig-2-style QFT sweep at minimum node counts\n\
+       transpile --qubits N --ranks R [--circuit ...]\n\
+                                    cache-block a circuit, show communication\n"
+        .to_string()
+}
+
+fn build_circuit(name: &str, n: u32) -> Result<Circuit, ArgError> {
+    Ok(match name {
+        "qft" => qft(n),
+        "qft-blocked" => {
+            // A sensible default split for display purposes: half-window.
+            let split = valid_split_range(n, n.div_ceil(2).max(1))
+                .map(|(lo, hi)| (lo + hi) / 2)
+                .unwrap_or(n);
+            cache_blocked_qft(n, split)
+        }
+        "ghz" => ghz(n),
+        "grover" => {
+            let marked = (1u64 << n) - 1;
+            grover(n, marked, grover_optimal_iterations(n))
+        }
+        "bv" => bernstein_vazirani(n, (1u64 << n) / 3),
+        other => {
+            return Err(ArgError(format!(
+                "unknown circuit `{other}` (qft, qft-blocked, ghz, grover, bv)"
+            )))
+        }
+    })
+}
+
+fn parse_freq(s: &str) -> Result<CpuFrequency, ArgError> {
+    Ok(match s {
+        "low" => CpuFrequency::Low,
+        "medium" | "med" => CpuFrequency::Medium,
+        "high" => CpuFrequency::High,
+        other => return Err(ArgError(format!("unknown frequency `{other}`"))),
+    })
+}
+
+fn parse_kind(s: &str) -> Result<NodeKind, ArgError> {
+    Ok(match s {
+        "standard" | "std" => NodeKind::Standard,
+        "highmem" | "hm" => NodeKind::HighMem,
+        other => return Err(ArgError(format!("unknown node kind `{other}`"))),
+    })
+}
+
+fn pick_machine(args: &Args) -> qse_machine::archer2::Machine {
+    if args.switch("gpu") {
+        gpu_machine()
+    } else {
+        archer2()
+    }
+}
+
+fn info(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["gpu"])?;
+    let m = pick_machine(args);
+    let mut out = format!("{}\n", m.name);
+    for kind in [NodeKind::Standard, NodeKind::HighMem] {
+        let n = m.node(kind);
+        out += &format!(
+            "  {:8} node: {} GiB RAM ({} usable), sweep {} GB/s, {} available\n",
+            kind.label(),
+            n.memory_bytes >> 30,
+            n.usable_bytes() >> 30,
+            (n.sweep_bandwidth / 1e9) as u64,
+            n.available,
+        );
+    }
+    out += &format!(
+        "  network: 1 switch per {} nodes at {} W; exchange {}/{} GB/s (blocking/non-blocking); {} MiB max message\n",
+        m.network.nodes_per_switch,
+        m.network.switch_power_w,
+        (m.network.exchange_bw_blocking / 1e9).round(),
+        (m.network.exchange_bw_nonblocking / 1e9).round(),
+        m.network.max_message_bytes >> 20,
+    );
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "qubits",
+        "ranks",
+        "circuit",
+        "non-blocking",
+        "half-swaps",
+        "fuse",
+        "basis",
+    ])?;
+    let n: u32 = args.required("qubits")?;
+    if n > 24 {
+        return Err(ArgError(format!(
+            "--qubits {n} is too large for an in-process run (max 24); use `qse model`"
+        )));
+    }
+    let ranks: u64 = args.value("ranks", 4)?;
+    let basis: u64 = args.value("basis", 0)?;
+    let circuit = build_circuit(&args.string("circuit", "qft"), n)?;
+    let mut cfg = SimConfig::default_for(ranks);
+    cfg.non_blocking = args.switch("non-blocking");
+    cfg.half_exchange_swaps = args.switch("half-swaps");
+    cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
+    let run = ThreadClusterExecutor::run(&circuit, &cfg, basis, false);
+    let p = &run.profiled;
+    Ok(format!(
+        "ran {} gates on {} qubits over {} ranks in {:.3} s\n\
+         distributed-gate share: {:.0} % of wall-clock\n\
+         traffic: {} bytes in {} messages ({} bytes/rank)\n",
+        p.gate_count,
+        p.n_qubits,
+        p.n_ranks,
+        p.wall_s,
+        p.profile.distributed_fraction() * 100.0,
+        p.bytes_sent,
+        p.messages_sent,
+        p.bytes_per_rank(),
+    ))
+}
+
+fn model(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "qubits", "nodes", "node-kind", "freq", "circuit", "fast", "gpu", "half-swaps", "fuse",
+    ])?;
+    let n: u32 = args.required("qubits")?;
+    let machine = pick_machine(args);
+    let kind = parse_kind(&args.string("node-kind", "standard"))?;
+    let nodes = match args.optional::<u64>("nodes")? {
+        Some(nodes) => nodes,
+        None => nodes_for(&machine, kind, n).ok_or_else(|| {
+            ArgError(format!("{n} qubits do not fit any {} allocation", kind.label()))
+        })?,
+    };
+    let circuit = if args.switch("fast") {
+        let local = n - nodes.trailing_zeros();
+        cache_blocked_qft(n, default_split(n, local))
+    } else {
+        build_circuit(&args.string("circuit", "qft"), n)?
+    };
+    let mut cfg = SimConfig::default_for(nodes);
+    cfg.node_kind = kind;
+    cfg.frequency = parse_freq(&args.string("freq", "medium"))?;
+    cfg.non_blocking = args.switch("fast");
+    cfg.half_exchange_swaps = args.switch("half-swaps");
+    cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
+    let est = ModelExecutor::new(&machine).run(&circuit, &cfg);
+    let sacct = SacctRecord::from_estimate(format!("{}q", n), &est);
+    Ok(format!(
+        "{}\n\
+         runtime {:.1} s | energy {} ({:.1} kWh) | {:.1} CU\n\
+         profile: {:.0} % MPI / {:.0} % memory / {:.0} % compute\n",
+        sacct.render(),
+        est.runtime_s,
+        format_energy(est.total_energy_j()),
+        joules_to_kwh(est.total_energy_j()),
+        est.cu,
+        est.comm_fraction() * 100.0,
+        est.memory_fraction() * 100.0,
+        est.compute_fraction() * 100.0,
+    ))
+}
+
+fn sweep(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["from", "to", "fast", "gpu"])?;
+    let from: u32 = args.value("from", 33)?;
+    let to: u32 = args.value("to", 44)?;
+    if from > to {
+        return Err(ArgError(format!("--from {from} exceeds --to {to}")));
+    }
+    let machine = pick_machine(args);
+    let mut table = TextTable::new(vec!["Qubits", "Nodes", "Runtime", "Energy", "CU"]);
+    for n in from..=to {
+        let Some(nodes) = nodes_for(&machine, NodeKind::Standard, n) else {
+            table.row(vec![n.to_string(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let (circuit, mut cfg) = if args.switch("fast") {
+            let local = n - nodes.trailing_zeros();
+            (
+                cache_blocked_qft(n, default_split(n, local)),
+                SimConfig::fast_for(nodes),
+            )
+        } else {
+            (qft(n), SimConfig::default_for(nodes))
+        };
+        cfg.n_ranks = nodes;
+        let est = ModelExecutor::new(&machine).run(&circuit, &cfg);
+        table.row(vec![
+            n.to_string(),
+            nodes.to_string(),
+            fmt_seconds(est.runtime_s),
+            format_energy(est.total_energy_j()),
+            format!("{:.1}", est.cu),
+        ]);
+    }
+    Ok(table.render())
+}
+
+fn transpile(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["qubits", "ranks", "circuit"])?;
+    let n: u32 = args.required("qubits")?;
+    let ranks: u64 = args.required("ranks")?;
+    let layout = Layout::new(n, ranks);
+    let circuit = build_circuit(&args.string("circuit", "qft"), n)?;
+    let before = comm_summary(&circuit, &layout);
+    let t = cache_block(&circuit, layout.local_qubits());
+    let after = comm_summary(&t.circuit, &layout);
+    Ok(format!(
+        "{} gates on {} qubits over {} ranks ({} local qubits)\n\
+         before: {} distributed gates, {} bytes/rank exchanged\n\
+         after:  {} distributed gates, {} bytes/rank exchanged ({:.1}x less)\n\
+         final layout is {}identity\n",
+        circuit.len(),
+        n,
+        ranks,
+        layout.local_qubits(),
+        before.distributed,
+        before.bytes_full_exchange,
+        after.distributed,
+        after.bytes_full_exchange,
+        before.bytes_full_exchange as f64 / after.bytes_full_exchange.max(1) as f64,
+        if t.layout.is_identity() { "the " } else { "NOT " },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(tokens: &[&str]) -> Result<String, ArgError> {
+        let args = Args::parse(tokens.iter().map(|s| s.to_string()))?;
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let out = run_cli(&["help"]).unwrap();
+        for cmd in ["run", "model", "sweep", "transpile", "info"] {
+            assert!(out.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn info_describes_machines() {
+        let cpu = run_cli(&["info"]).unwrap();
+        assert!(cpu.contains("ARCHER2"));
+        assert!(cpu.contains("switch per 8 nodes"));
+        let gpu = run_cli(&["info", "--gpu"]).unwrap();
+        assert!(gpu.contains("GPU"));
+    }
+
+    #[test]
+    fn run_executes_small_qft() {
+        let out = run_cli(&["run", "--qubits", "8", "--ranks", "4"]).unwrap();
+        assert!(out.contains("over 4 ranks"));
+        assert!(out.contains("distributed-gate share"));
+    }
+
+    #[test]
+    fn run_rejects_oversized_registers() {
+        let err = run_cli(&["run", "--qubits", "30"]).unwrap_err();
+        assert!(err.0.contains("qse model"));
+    }
+
+    #[test]
+    fn run_all_circuit_kinds() {
+        for circuit in ["qft", "qft-blocked", "ghz", "grover", "bv"] {
+            let out = run_cli(&["run", "--qubits", "6", "--ranks", "2", "--circuit", circuit]);
+            assert!(out.is_ok(), "{circuit}: {out:?}");
+        }
+        assert!(run_cli(&["run", "--qubits", "6", "--circuit", "nope"]).is_err());
+    }
+
+    #[test]
+    fn model_reports_sacct_line() {
+        let out = run_cli(&["model", "--qubits", "38"]).unwrap();
+        assert!(out.contains("AllocNodes=64"));
+        assert!(out.contains("CU"));
+        assert!(out.contains("% MPI"));
+    }
+
+    #[test]
+    fn model_fast_flag_changes_result() {
+        let plain = run_cli(&["model", "--qubits", "38"]).unwrap();
+        let fast = run_cli(&["model", "--qubits", "38", "--fast"]).unwrap();
+        assert_ne!(plain, fast);
+    }
+
+    #[test]
+    fn model_rejects_infeasible() {
+        let err = run_cli(&["model", "--qubits", "45"]).unwrap_err();
+        assert!(err.0.contains("do not fit"));
+        let err = run_cli(&["model", "--qubits", "42", "--node-kind", "highmem"]).unwrap_err();
+        assert!(err.0.contains("do not fit"));
+    }
+
+    #[test]
+    fn sweep_renders_table() {
+        let out = run_cli(&["sweep", "--from", "33", "--to", "35"]).unwrap();
+        assert!(out.contains("33"));
+        assert!(out.contains("35"));
+        assert!(run_cli(&["sweep", "--from", "40", "--to", "34"]).is_err());
+    }
+
+    #[test]
+    fn transpile_reports_reduction() {
+        let out = run_cli(&["transpile", "--qubits", "12", "--ranks", "8"]).unwrap();
+        assert!(out.contains("before:"));
+        assert!(out.contains("after:"));
+        assert!(out.contains("x less"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_command() {
+        assert!(run_cli(&["info", "--qubits", "3"]).is_err());
+        assert!(run_cli(&["sweep", "--qubits", "3"]).is_err());
+    }
+}

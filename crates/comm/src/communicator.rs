@@ -1,0 +1,339 @@
+//! The per-rank communication endpoint.
+
+use crate::error::CommError;
+use crate::message::Envelope;
+use crate::nonblocking::Request;
+use crate::stats::{SharedCounters, TrafficStats};
+use crate::Result;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One rank's endpoint into the universe.
+///
+/// Owned by exactly one thread. All sends are *eager*: the payload is copied
+/// into the peer's mailbox immediately and the call returns (matching an MPI
+/// implementation's eager protocol for buffered messages). Receives match on
+/// `(source, tag)` and buffer out-of-order arrivals, like MPI's unexpected-
+/// message queue.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+    barrier: Arc<Barrier>,
+    counters: SharedCounters,
+    all_counters: Arc<Vec<SharedCounters>>,
+    recv_timeout: Duration,
+}
+
+impl Communicator {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        rx: Receiver<Envelope>,
+        barrier: Arc<Barrier>,
+        counters: SharedCounters,
+        all_counters: Arc<Vec<SharedCounters>>,
+        recv_timeout: Duration,
+    ) -> Self {
+        Communicator {
+            rank,
+            size,
+            senders,
+            rx,
+            pending: VecDeque::new(),
+            barrier,
+            counters,
+            all_counters,
+            recv_timeout,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Deadline applied to blocking receives before reporting a deadlock.
+    pub fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank >= self.size {
+            Err(CommError::InvalidRank {
+                rank,
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sends `payload` to `dst` with `tag`, copying it once. Returns as soon
+    /// as the message is enqueued in the destination mailbox.
+    pub fn send(&self, dst: usize, tag: u64, payload: &[u8]) -> Result<()> {
+        self.send_bytes(dst, tag, Bytes::copy_from_slice(payload))
+    }
+
+    /// Sends an already-owned payload without copying.
+    pub fn send_bytes(&self, dst: usize, tag: u64, payload: Bytes) -> Result<()> {
+        self.check_rank(dst)?;
+        let len = payload.len();
+        self.senders[dst]
+            .send(Envelope::from_bytes(self.rank, tag, payload))
+            .map_err(|_| CommError::Disconnected { peer: dst })?;
+        self.counters.record_send(len);
+        Ok(())
+    }
+
+    /// Blocking receive matching `(src, tag)` exactly.
+    ///
+    /// Out-of-order arrivals for other `(src, tag)` pairs are buffered and
+    /// delivered to their own matching `recv` calls later.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes> {
+        self.check_rank(src)?;
+        // First consult the unexpected-message queue.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            let env = self.pending.remove(pos).expect("position just found");
+            self.counters.record_recv(env.len());
+            return Ok(env.payload);
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) if env.src == src && env.tag == tag => {
+                    self.counters.record_recv(env.len());
+                    return Ok(env.payload);
+                }
+                Ok(env) => self.pending.push_back(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::RecvTimeout {
+                        src,
+                        tag,
+                        waited: self.recv_timeout,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: src })
+                }
+            }
+        }
+    }
+
+    /// Combined send + receive, the workhorse of QuEST's distributed gates
+    /// (`MPI_Sendrecv`). The send is eager so this cannot deadlock even when
+    /// both partners call it simultaneously.
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        payload: &[u8],
+        src: usize,
+        recv_tag: u64,
+    ) -> Result<Bytes> {
+        self.send(dst, send_tag, payload)?;
+        self.recv(src, recv_tag)
+    }
+
+    /// Non-blocking send. With an eager transport the operation completes
+    /// immediately; the returned request exists so call sites read like
+    /// their MPI counterparts and can be passed to [`Self::wait_all`].
+    pub fn isend(&self, dst: usize, tag: u64, payload: &[u8]) -> Result<Request> {
+        self.send(dst, tag, payload)?;
+        Ok(Request::SendDone)
+    }
+
+    /// Non-blocking receive: registers interest in `(src, tag)` and returns
+    /// a request to be completed by [`Self::wait`] / [`Self::wait_all`].
+    pub fn irecv(&self, src: usize, tag: u64) -> Result<Request> {
+        self.check_rank(src)?;
+        Ok(Request::Recv { src, tag })
+    }
+
+    /// Completes one request, returning its payload (empty for sends).
+    pub fn wait(&mut self, request: Request) -> Result<Bytes> {
+        match request {
+            Request::SendDone => Ok(Bytes::new()),
+            Request::Recv { src, tag } => self.recv(src, tag),
+        }
+    }
+
+    /// Completes a batch of requests in order, returning their payloads.
+    ///
+    /// Because arrivals are buffered by `(src, tag)`, completion order does
+    /// not depend on network arrival order — exactly the property the
+    /// paper's non-blocking rewrite of QuEST exploits.
+    pub fn wait_all(&mut self, requests: Vec<Request>) -> Result<Vec<Bytes>> {
+        requests.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Synchronises all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// This rank's traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.counters.snapshot()
+    }
+
+    /// Snapshot of every rank's counters (for aggregate reporting).
+    pub fn all_stats(&self) -> Vec<TrafficStats> {
+        self.all_counters.iter().map(|c| c.snapshot()).collect()
+    }
+
+    /// Resets this rank's counters (e.g. between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::universe::Universe;
+    use crate::CommError;
+
+    #[test]
+    fn rank_and_size_are_exposed() {
+        let sizes = Universe::new(4).run(|c| (c.rank(), c.size()));
+        assert_eq!(sizes, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        Universe::new(2).run(|c| {
+            let err = c.send(5, 0, &[]).unwrap_err();
+            assert_eq!(err, CommError::InvalidRank { rank: 5, size: 2 });
+            let err = c.recv(9, 0).unwrap_err();
+            assert_eq!(err, CommError::InvalidRank { rank: 9, size: 2 });
+        });
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 10, b"first").unwrap();
+                c.send(1, 20, b"second").unwrap();
+            } else {
+                // Receive in the opposite order to the sends.
+                let b = c.recv(0, 20).unwrap();
+                let a = c.recv(0, 10).unwrap();
+                assert_eq!(&a[..], b"first");
+                assert_eq!(&b[..], b"second");
+            }
+        });
+    }
+
+    #[test]
+    fn messages_from_different_sources_do_not_cross() {
+        Universe::new(3).run(|c| match c.rank() {
+            0 => c.send(2, 7, b"from0").unwrap(),
+            1 => c.send(2, 7, b"from1").unwrap(),
+            2 => {
+                let from1 = c.recv(1, 7).unwrap();
+                let from0 = c.recv(0, 7).unwrap();
+                assert_eq!(&from0[..], b"from0");
+                assert_eq!(&from1[..], b"from1");
+            }
+            _ => unreachable!(),
+        });
+    }
+
+    #[test]
+    fn simultaneous_sendrecv_does_not_deadlock() {
+        let out = Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let payload = vec![c.rank() as u8; 1024];
+            let got = c.sendrecv(peer, 3, &payload, peer, 3).unwrap();
+            got[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn recv_timeout_reports_deadlock() {
+        let out = Universe::with_timeout(2, std::time::Duration::from_millis(50)).run(|c| {
+            if c.rank() == 0 {
+                // Nobody ever sends tag 99.
+                c.recv(1, 99).unwrap_err()
+            } else {
+                CommError::InvalidConfig("placeholder")
+            }
+        });
+        match &out[0] {
+            CommError::RecvTimeout { src: 1, tag: 99, .. } => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonblocking_roundtrip() {
+        Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let reqs = vec![
+                c.irecv(peer, 1).unwrap(),
+                c.isend(peer, 1, &[c.rank() as u8]).unwrap(),
+            ];
+            let payloads = c.wait_all(reqs).unwrap();
+            assert_eq!(payloads[0][0] as usize, peer);
+            assert!(payloads[1].is_empty());
+        });
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let stats = Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            c.sendrecv(peer, 0, &[0u8; 100], peer, 0).unwrap();
+            c.barrier();
+            c.stats()
+        });
+        for s in stats {
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 100);
+            assert_eq!(s.messages_received, 1);
+            assert_eq!(s.bytes_received, 100);
+        }
+    }
+
+    #[test]
+    fn reset_stats_clears_counts() {
+        Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            c.sendrecv(peer, 0, &[0u8; 8], peer, 0).unwrap();
+            c.reset_stats();
+            assert_eq!(c.stats().messages_sent, 0);
+        });
+    }
+
+    #[test]
+    fn all_stats_sees_every_rank() {
+        let out = Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            c.sendrecv(peer, 0, &[0u8; 8], peer, 0).unwrap();
+            c.barrier();
+            c.all_stats().len()
+        });
+        assert_eq!(out, vec![2, 2]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for communication operations.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors surfaced by the message-passing layer.
+///
+/// In a healthy run none of these occur; they exist so that tests fail with
+/// a diagnosis instead of deadlocking, and so that misuse (bad rank, zero
+/// chunk size) is rejected eagerly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank id is outside `0..size`.
+    InvalidRank {
+        /// The offending rank id.
+        rank: usize,
+        /// Number of ranks in the universe.
+        size: usize,
+    },
+    /// A receive did not complete within the deadline — almost always a
+    /// deadlock in the calling protocol (e.g. two ranks both blocking-send
+    /// with a rendezvous transport, or mismatched tags).
+    RecvTimeout {
+        /// Rank we were receiving from.
+        src: usize,
+        /// Tag we were matching.
+        tag: u64,
+        /// How long we waited.
+        waited: Duration,
+    },
+    /// The peer's mailbox has been dropped; the universe is shutting down
+    /// or the peer thread panicked.
+    Disconnected {
+        /// The peer rank.
+        peer: usize,
+    },
+    /// A configuration value was invalid (e.g. zero maximum message size).
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} (universe size {size})")
+            }
+            CommError::RecvTimeout { src, tag, waited } => write!(
+                f,
+                "receive from rank {src} with tag {tag} timed out after {waited:?} (protocol deadlock?)"
+            ),
+            CommError::Disconnected { peer } => {
+                write!(f, "rank {peer} disconnected (thread exited or panicked)")
+            }
+            CommError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CommError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("invalid rank 9"));
+        let e = CommError::RecvTimeout {
+            src: 1,
+            tag: 42,
+            waited: Duration::from_secs(3),
+        };
+        assert!(e.to_string().contains("tag 42"));
+        let e = CommError::Disconnected { peer: 2 };
+        assert!(e.to_string().contains("rank 2"));
+        let e = CommError::InvalidConfig("zero chunk");
+        assert!(e.to_string().contains("zero chunk"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CommError::Disconnected { peer: 1 },
+            CommError::Disconnected { peer: 1 }
+        );
+        assert_ne!(
+            CommError::Disconnected { peer: 1 },
+            CommError::Disconnected { peer: 2 }
+        );
+    }
+}

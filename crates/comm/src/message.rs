@@ -1,0 +1,145 @@
+//! Message envelope and payload conversion helpers.
+
+use bytes::Bytes;
+
+/// A message in flight: source rank, user tag, and an owned byte payload.
+///
+/// `Bytes` gives cheap reference-counted hand-off between threads; the
+/// payload is copied exactly once, at send time, mirroring an eager-protocol
+/// MPI implementation.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Rank that sent the message.
+    pub src: usize,
+    /// User-supplied tag; receives match on `(src, tag)`.
+    pub tag: u64,
+    /// Message body.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Creates an envelope, copying `payload` into owned storage.
+    pub fn new(src: usize, tag: u64, payload: &[u8]) -> Self {
+        Envelope {
+            src,
+            tag,
+            payload: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    /// Creates an envelope from an already-owned payload without copying.
+    pub fn from_bytes(src: usize, tag: u64, payload: Bytes) -> Self {
+        Envelope { src, tag, payload }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty (e.g. barrier/ack messages).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Reinterprets a slice of `f64` as bytes (little-endian native layout).
+///
+/// The statevector engine ships amplitude data as `f64` arrays exactly as
+/// QuEST ships `qreal` buffers through MPI.
+pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
+    let mut buf = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Decodes a byte payload produced by [`f64s_to_bytes`].
+///
+/// # Panics
+/// Panics if the payload length is not a multiple of 8 — that would mean a
+/// framing bug, which must never be silently tolerated.
+pub fn bytes_to_f64s(payload: &[u8]) -> Vec<f64> {
+    assert!(
+        payload.len().is_multiple_of(8),
+        "payload length {} is not a multiple of 8",
+        payload.len()
+    );
+    payload
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Decodes a byte payload into a caller-provided `f64` buffer, avoiding an
+/// allocation on the hot exchange path.
+///
+/// # Panics
+/// Panics if `out.len() * 8 != payload.len()`.
+pub fn bytes_to_f64s_into(payload: &[u8], out: &mut [f64]) {
+    assert_eq!(
+        payload.len(),
+        out.len() * 8,
+        "payload length {} does not match output buffer {} f64s",
+        payload.len(),
+        out.len()
+    );
+    for (slot, c) in out.iter_mut().zip(payload.chunks_exact(8)) {
+        *slot = f64::from_le_bytes(c.try_into().expect("chunk of 8"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_copies_payload() {
+        let data = vec![1u8, 2, 3];
+        let env = Envelope::new(0, 5, &data);
+        assert_eq!(env.src, 0);
+        assert_eq!(env.tag, 5);
+        assert_eq!(&env.payload[..], &[1, 2, 3]);
+        assert_eq!(env.len(), 3);
+        assert!(!env.is_empty());
+    }
+
+    #[test]
+    fn empty_envelope() {
+        let env = Envelope::new(1, 0, &[]);
+        assert!(env.is_empty());
+        assert_eq!(env.len(), 0);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let values = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = f64s_to_bytes(&values);
+        assert_eq!(bytes.len(), values.len() * 8);
+        assert_eq!(bytes_to_f64s(&bytes), values);
+    }
+
+    #[test]
+    fn f64_roundtrip_into_buffer() {
+        let values = vec![1.0, 2.0, 3.0];
+        let bytes = f64s_to_bytes(&values);
+        let mut out = vec![0.0; 3];
+        bytes_to_f64s_into(&bytes, &mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of 8")]
+    fn misframed_payload_panics() {
+        bytes_to_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match output buffer")]
+    fn wrong_buffer_size_panics() {
+        let bytes = f64s_to_bytes(&[1.0, 2.0]);
+        let mut out = vec![0.0; 3];
+        bytes_to_f64s_into(&bytes, &mut out);
+    }
+}

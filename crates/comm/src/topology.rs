@@ -1,0 +1,109 @@
+//! Rank-to-switch topology mapping.
+//!
+//! ARCHER2 groups 8 nodes per switch (§2.4); messages between ranks under
+//! the same switch never cross the spine. This module classifies traffic
+//! accordingly, which lets experiments report how much of an exchange
+//! pattern is switch-local — the reason the paper's pairwise pattern
+//! (`rank XOR 2^k`) stresses the network more as the flipped bit rises.
+
+/// A grouping of ranks into switches of fixed size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Ranks per switch (8 on ARCHER2 with one rank per node).
+    pub ranks_per_switch: usize,
+}
+
+impl Topology {
+    /// The ARCHER2 grouping.
+    pub const ARCHER2: Topology = Topology { ranks_per_switch: 8 };
+
+    /// Creates a topology (group size ≥ 1).
+    pub fn new(ranks_per_switch: usize) -> Self {
+        assert!(ranks_per_switch >= 1);
+        Topology { ranks_per_switch }
+    }
+
+    /// The switch a rank hangs off.
+    pub fn switch_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_switch
+    }
+
+    /// Switches needed for `n_ranks`.
+    pub fn switches_for(&self, n_ranks: usize) -> usize {
+        n_ranks.div_ceil(self.ranks_per_switch)
+    }
+
+    /// True when a message between the two ranks stays under one switch.
+    pub fn is_local(&self, a: usize, b: usize) -> bool {
+        self.switch_of(a) == self.switch_of(b)
+    }
+
+    /// For the paper's pairwise exchange (`rank XOR 2^bit` across all
+    /// ranks), the fraction of pairs that stay switch-local.
+    ///
+    /// With `2^s` ranks per switch, flipping bit `k < s` is always local;
+    /// any higher bit always crosses switches — the step function that
+    /// makes high global qubits strictly network-bound.
+    pub fn local_fraction_for_xor(&self, n_ranks: usize, bit: u32) -> f64 {
+        assert!(n_ranks >= 1);
+        let mut local = 0usize;
+        for rank in 0..n_ranks {
+            let pair = rank ^ (1usize << bit);
+            if pair < n_ranks && self.is_local(rank, pair) {
+                local += 1;
+            }
+        }
+        local as f64 / n_ranks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_assignment() {
+        let t = Topology::ARCHER2;
+        assert_eq!(t.switch_of(0), 0);
+        assert_eq!(t.switch_of(7), 0);
+        assert_eq!(t.switch_of(8), 1);
+        assert_eq!(t.switches_for(64), 8);
+        assert_eq!(t.switches_for(65), 9);
+    }
+
+    #[test]
+    fn locality_classification() {
+        let t = Topology::ARCHER2;
+        assert!(t.is_local(0, 7));
+        assert!(!t.is_local(7, 8));
+        assert!(t.is_local(9, 15));
+    }
+
+    #[test]
+    fn xor_exchange_locality_is_a_step_function() {
+        // 64 ranks, 8 per switch: bits 0–2 are switch-local, 3–5 are not.
+        let t = Topology::ARCHER2;
+        for bit in 0..3u32 {
+            assert_eq!(t.local_fraction_for_xor(64, bit), 1.0, "bit {bit}");
+        }
+        for bit in 3..6u32 {
+            assert_eq!(t.local_fraction_for_xor(64, bit), 0.0, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn non_pow2_group_sizes_work() {
+        let t = Topology::new(3);
+        assert_eq!(t.switch_of(2), 0);
+        assert_eq!(t.switch_of(3), 1);
+        // XOR bit 0 pairs (0,1): same switch; (2,3): different.
+        let f = t.local_fraction_for_xor(6, 0);
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_group_rejected() {
+        Topology::new(0);
+    }
+}

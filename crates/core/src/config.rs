@@ -1,0 +1,114 @@
+//! Unified run configuration bridging the executable engine and the model.
+
+use qse_comm::chunking::{ChunkPolicy, ExchangeMode};
+use qse_machine::{CommMode, CpuFrequency, ModelConfig, NodeKind};
+use qse_statevec::DistConfig;
+
+/// One simulation setup, expressible to both the thread-cluster engine
+/// and the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Ranks (threads) or nodes — always a power of two.
+    pub n_ranks: u64,
+    /// Blocking (QuEST default) or non-blocking exchange (§3.2).
+    pub non_blocking: bool,
+    /// Half-exchange distributed SWAPs (§4 future work).
+    pub half_exchange_swaps: bool,
+    /// Fuse diagonal runs of at least this many gates.
+    pub fuse_diagonals: Option<usize>,
+    /// Maximum message size in bytes for chunked exchanges.
+    pub max_message_bytes: usize,
+    /// Node flavour (model runs only).
+    pub node_kind: NodeKind,
+    /// CPU frequency (model runs only).
+    pub frequency: CpuFrequency,
+}
+
+impl SimConfig {
+    /// The ARCHER2 default setup on `n_ranks` ranks.
+    pub fn default_for(n_ranks: u64) -> Self {
+        SimConfig {
+            n_ranks,
+            non_blocking: false,
+            half_exchange_swaps: false,
+            fuse_diagonals: None,
+            max_message_bytes: 1 << 20,
+            node_kind: NodeKind::Standard,
+            frequency: CpuFrequency::Medium,
+        }
+    }
+
+    /// The paper's "Fast" setup (Table 2): non-blocking exchange; pair it
+    /// with a cache-blocked circuit.
+    pub fn fast_for(n_ranks: u64) -> Self {
+        SimConfig {
+            non_blocking: true,
+            ..Self::default_for(n_ranks)
+        }
+    }
+
+    /// View as the executable engine's options.
+    pub fn to_dist_config(&self) -> DistConfig {
+        DistConfig {
+            exchange_mode: if self.non_blocking {
+                ExchangeMode::NonBlocking
+            } else {
+                ExchangeMode::Blocking
+            },
+            chunk_policy: ChunkPolicy::new(self.max_message_bytes)
+                .expect("max_message_bytes must be positive"),
+            half_exchange_swaps: self.half_exchange_swaps,
+            min_fuse: self.fuse_diagonals,
+        }
+    }
+
+    /// View as the analytic model's options.
+    pub fn to_model_config(&self) -> ModelConfig {
+        ModelConfig {
+            node_kind: self.node_kind,
+            frequency: self.frequency,
+            comm_mode: if self.non_blocking {
+                CommMode::NonBlocking
+            } else {
+                CommMode::Blocking
+            },
+            half_exchange_swaps: self.half_exchange_swaps,
+            fuse_diagonals: self.fuse_diagonals,
+            n_nodes: self.n_ranks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_maps_to_blocking_everywhere() {
+        let c = SimConfig::default_for(8);
+        assert_eq!(c.to_dist_config().exchange_mode, ExchangeMode::Blocking);
+        assert_eq!(c.to_model_config().comm_mode, CommMode::Blocking);
+        assert_eq!(c.to_model_config().n_nodes, 8);
+        assert!(!c.to_dist_config().half_exchange_swaps);
+    }
+
+    #[test]
+    fn fast_maps_to_nonblocking_everywhere() {
+        let c = SimConfig::fast_for(8);
+        assert_eq!(c.to_dist_config().exchange_mode, ExchangeMode::NonBlocking);
+        assert_eq!(c.to_model_config().comm_mode, CommMode::NonBlocking);
+    }
+
+    #[test]
+    fn options_thread_through() {
+        let mut c = SimConfig::default_for(4);
+        c.half_exchange_swaps = true;
+        c.fuse_diagonals = Some(3);
+        c.max_message_bytes = 256;
+        assert!(c.to_dist_config().half_exchange_swaps);
+        assert!(c.to_model_config().half_exchange_swaps);
+        assert_eq!(c.to_dist_config().min_fuse, Some(3));
+        assert_eq!(c.to_model_config().fuse_diagonals, Some(3));
+        assert_eq!(c.to_dist_config().chunk_policy.max_message_bytes, 256);
+    }
+}

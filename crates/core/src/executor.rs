@@ -1,0 +1,173 @@
+//! The three execution backends behind one call shape.
+
+use crate::config::SimConfig;
+use crate::profile::{ClassProfile, ProfiledRun};
+use qse_circuit::classify::{classify, Layout};
+use qse_circuit::Circuit;
+use qse_comm::Universe;
+use qse_machine::archer2::Machine;
+use qse_machine::perf::RunEstimate;
+use qse_math::Complex64;
+use qse_statevec::storage::SoaStorage;
+use qse_statevec::{DistributedState, SingleState};
+use std::time::Instant;
+
+/// Runs circuits in one address space with the production kernels.
+pub struct LocalExecutor;
+
+impl LocalExecutor {
+    /// Simulates from |0…0⟩ and returns the final state.
+    pub fn run(circuit: &Circuit) -> SingleState<SoaStorage> {
+        SingleState::simulate(circuit)
+    }
+
+    /// Simulates from |basis⟩ with diagonal fusion.
+    pub fn run_fused(circuit: &Circuit, basis: u64, min_fuse: usize) -> SingleState<SoaStorage> {
+        let mut s = SingleState::basis_state(circuit.n_qubits(), basis);
+        s.run_fused(circuit, min_fuse);
+        s
+    }
+}
+
+/// Runs circuits genuinely distributed over thread ranks, measuring
+/// wall-clock time and traffic — the laptop-scale stand-in for the
+/// paper's multi-node runs.
+pub struct ThreadClusterExecutor;
+
+/// What a thread-cluster run returns.
+pub struct ClusterRun {
+    /// Measured timings and traffic.
+    pub profiled: ProfiledRun,
+    /// Full statevector gathered on rank 0 (small registers only; `None`
+    /// when `gather` was disabled).
+    pub state: Option<Vec<Complex64>>,
+}
+
+impl ThreadClusterExecutor {
+    /// Runs `circuit` from |basis⟩ over `config.n_ranks` thread ranks.
+    ///
+    /// Each gate is timed on rank 0 (all ranks advance in lockstep for
+    /// distributed gates, so rank 0's clock is representative) and
+    /// attributed to its locality class.
+    pub fn run(circuit: &Circuit, config: &SimConfig, basis: u64, gather: bool) -> ClusterRun {
+        let n_ranks = config.n_ranks as usize;
+        let dist_config = config.to_dist_config();
+        let layout = Layout::new(circuit.n_qubits(), config.n_ranks);
+        let classes: Vec<_> = circuit
+            .gates()
+            .iter()
+            .map(|g| classify(g, &layout))
+            .collect();
+
+        let results = Universe::new(n_ranks).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::basis_state(comm, circuit.n_qubits(), basis, dist_config);
+            st.barrier();
+            let t0 = Instant::now();
+            let mut profile = ClassProfile::default();
+            for (gate, &class) in circuit.gates().iter().zip(&classes) {
+                let g0 = Instant::now();
+                st.apply(gate);
+                profile.record(class, g0.elapsed());
+            }
+            st.barrier();
+            let wall = t0.elapsed().as_secs_f64();
+            let stats = st.stats();
+            let state = if gather { st.gather() } else { None };
+            (wall, profile, stats, state)
+        });
+
+        let total_bytes: u64 = results.iter().map(|(_, _, s, _)| s.bytes_sent).sum();
+        let total_msgs: u64 = results.iter().map(|(_, _, s, _)| s.messages_sent).sum();
+        let (wall, profile, _, _) = &results[0];
+        let state = results
+            .iter()
+            .find_map(|(_, _, _, st)| st.clone());
+        ClusterRun {
+            profiled: ProfiledRun {
+                n_qubits: circuit.n_qubits(),
+                n_ranks: config.n_ranks,
+                wall_s: *wall,
+                profile: *profile,
+                bytes_sent: total_bytes,
+                messages_sent: total_msgs,
+                gate_count: circuit.len(),
+            },
+            state,
+        }
+    }
+}
+
+/// Runs circuits through the calibrated ARCHER2 model at full scale.
+pub struct ModelExecutor<'m> {
+    machine: &'m Machine,
+}
+
+impl<'m> ModelExecutor<'m> {
+    /// Wraps a machine description.
+    pub fn new(machine: &'m Machine) -> Self {
+        ModelExecutor { machine }
+    }
+
+    /// Estimates runtime/energy for `circuit` under `config`.
+    pub fn run(&self, circuit: &Circuit, config: &SimConfig) -> RunEstimate {
+        qse_machine::estimate(circuit, self.machine, &config.to_model_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_circuit::qft::qft;
+    use qse_circuit::random::{random_circuit, GatePool};
+    use qse_machine::archer2;
+    use qse_math::approx::assert_slices_close;
+    use qse_statevec::reference::ReferenceState;
+
+    #[test]
+    fn local_executor_matches_reference() {
+        let c = random_circuit(6, 50, GatePool::Full, 8);
+        let got = LocalExecutor::run(&c);
+        let want = ReferenceState::simulate(&c);
+        assert_slices_close(&got.to_vec(), want.amplitudes(), 1e-9);
+    }
+
+    #[test]
+    fn cluster_executor_matches_reference_and_profiles() {
+        let c = qft(8);
+        let run = ThreadClusterExecutor::run(&c, &SimConfig::default_for(4), 11, true);
+        let mut want = ReferenceState::basis_state(8, 11);
+        want.run(&c);
+        assert_slices_close(&run.state.unwrap(), want.amplitudes(), 1e-9);
+        // profile accounting covers every gate
+        assert_eq!(run.profiled.gate_count, c.len());
+        assert!(run.profiled.wall_s > 0.0);
+        assert!(run.profiled.profile.total_s() > 0.0);
+        assert!(run.profiled.bytes_sent > 0);
+    }
+
+    #[test]
+    fn cluster_executor_without_gather() {
+        let c = qft(6);
+        let run = ThreadClusterExecutor::run(&c, &SimConfig::default_for(2), 0, false);
+        assert!(run.state.is_none());
+    }
+
+    #[test]
+    fn model_executor_produces_estimates() {
+        let machine = archer2();
+        let exec = ModelExecutor::new(&machine);
+        let est = exec.run(&qft(38), &SimConfig::default_for(64));
+        assert!(est.runtime_s > 0.0);
+        assert!(est.total_energy_j() > 0.0);
+        assert_eq!(est.n_nodes, 64);
+    }
+
+    #[test]
+    fn fused_local_matches_plain() {
+        let c = random_circuit(6, 120, GatePool::Full, 3);
+        let plain = LocalExecutor::run(&c);
+        let fused = LocalExecutor::run_fused(&c, 0, 2);
+        assert_slices_close(&fused.to_vec(), &plain.to_vec(), 1e-9);
+    }
+}

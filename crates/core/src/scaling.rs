@@ -1,0 +1,79 @@
+//! Capacity planning helpers tying circuits to node counts.
+
+use qse_machine::archer2::Machine;
+use qse_machine::memory::{min_nodes, BufferRegime};
+use qse_machine::node::NodeKind;
+
+/// The minimum node count for `n_qubits` on a node kind, as the paper's
+/// experiments always use ("using the minimum possible number of nodes to
+/// fit the statevector", §3).
+pub fn nodes_for(machine: &Machine, kind: NodeKind, n_qubits: u32) -> Option<u64> {
+    min_nodes(n_qubits, machine.node(kind), BufferRegime::Full)
+}
+
+/// Same, under the half-exchange buffer regime (§4: the route to 45
+/// qubits on ARCHER2).
+pub fn nodes_for_half_buffers(
+    machine: &Machine,
+    kind: NodeKind,
+    n_qubits: u32,
+) -> Option<u64> {
+    min_nodes(n_qubits, machine.node(kind), BufferRegime::Half)
+}
+
+/// The register range a node kind can host at all (smallest meaningful
+/// paper size to the largest that fits).
+pub fn feasible_range(machine: &Machine, kind: NodeKind, from: u32) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    let mut n = from;
+    while let Some(nodes) = nodes_for(machine, kind, n) {
+        out.push((n, nodes));
+        n += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_machine::archer2;
+
+    #[test]
+    fn fig2_node_counts_standard() {
+        // The x-axis of fig 2: 33 q → 1 node … 44 q → 4,096 nodes.
+        let m = archer2();
+        let range = feasible_range(&m, NodeKind::Standard, 33);
+        let expected: Vec<(u32, u64)> = vec![
+            (33, 1),
+            (34, 4),
+            (35, 8),
+            (36, 16),
+            (37, 32),
+            (38, 64),
+            (39, 128),
+            (40, 256),
+            (41, 512),
+            (42, 1024),
+            (43, 2048),
+            (44, 4096),
+        ];
+        assert_eq!(range, expected);
+    }
+
+    #[test]
+    fn fig2_node_counts_highmem() {
+        // High-memory: 34 q on one node up to 41 q on 256 (§3.1).
+        let m = archer2();
+        let range = feasible_range(&m, NodeKind::HighMem, 34);
+        assert_eq!(range.first(), Some(&(34, 1)));
+        assert_eq!(range.last(), Some(&(41, 256)));
+        assert_eq!(range.len(), 8);
+    }
+
+    #[test]
+    fn half_buffers_unlock_45_qubits() {
+        let m = archer2();
+        assert_eq!(nodes_for(&m, NodeKind::Standard, 45), None);
+        assert_eq!(nodes_for_half_buffers(&m, NodeKind::Standard, 45), Some(4096));
+    }
+}

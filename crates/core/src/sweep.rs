@@ -1,0 +1,123 @@
+//! Parameter sweeps over the model — the engine behind the fig 2/3 grids.
+
+use crate::config::SimConfig;
+use crate::executor::ModelExecutor;
+use crate::scaling::nodes_for;
+use qse_circuit::Circuit;
+use qse_machine::archer2::Machine;
+use qse_machine::perf::RunEstimate;
+use qse_machine::{CpuFrequency, NodeKind};
+
+/// One cell of a sweep: the setup and its estimate.
+pub struct SweepPoint {
+    /// Register width.
+    pub n_qubits: u32,
+    /// Node flavour.
+    pub node_kind: NodeKind,
+    /// CPU frequency.
+    pub frequency: CpuFrequency,
+    /// Node count chosen (minimum fit).
+    pub n_nodes: u64,
+    /// The model's output.
+    pub estimate: RunEstimate,
+}
+
+/// Sweeps `circuit_for(n)` over register sizes × node kinds × frequencies,
+/// using the minimum node count that fits each register (as all the
+/// paper's experiments do). Infeasible combinations are skipped.
+pub fn sweep_qubits(
+    machine: &Machine,
+    qubit_range: impl IntoIterator<Item = u32>,
+    kinds: &[NodeKind],
+    freqs: &[CpuFrequency],
+    mut circuit_for: impl FnMut(u32) -> Circuit,
+) -> Vec<SweepPoint> {
+    let exec = ModelExecutor::new(machine);
+    let mut out = Vec::new();
+    for n in qubit_range {
+        let circuit = circuit_for(n);
+        for &kind in kinds {
+            let Some(nodes) = nodes_for(machine, kind, n) else {
+                continue;
+            };
+            for &frequency in freqs {
+                let mut cfg = SimConfig::default_for(nodes);
+                cfg.node_kind = kind;
+                cfg.frequency = frequency;
+                out.push(SweepPoint {
+                    n_qubits: n,
+                    node_kind: kind,
+                    frequency,
+                    n_nodes: nodes,
+                    estimate: exec.run(&circuit, &cfg),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Finds the sweep point minimising a metric (e.g. total energy).
+pub fn best_by<F: Fn(&SweepPoint) -> f64>(points: &[SweepPoint], metric: F) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .min_by(|a, b| metric(a).total_cmp(&metric(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_circuit::qft::qft;
+    use qse_machine::archer2;
+
+    #[test]
+    fn sweep_covers_feasible_grid() {
+        let m = archer2();
+        let points = sweep_qubits(
+            &m,
+            33..=35,
+            &[NodeKind::Standard, NodeKind::HighMem],
+            &[CpuFrequency::Medium, CpuFrequency::High],
+            qft,
+        );
+        // 3 sizes × 2 kinds × 2 freqs, all feasible at 33–35 qubits.
+        assert_eq!(points.len(), 12);
+        assert!(points.iter().all(|p| p.estimate.runtime_s > 0.0));
+    }
+
+    #[test]
+    fn infeasible_combinations_are_skipped() {
+        let m = archer2();
+        // 42 qubits exceed the high-memory partition.
+        let points = sweep_qubits(
+            &m,
+            [42u32],
+            &[NodeKind::Standard, NodeKind::HighMem],
+            &[CpuFrequency::Medium],
+            qft,
+        );
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].node_kind, NodeKind::Standard);
+    }
+
+    #[test]
+    fn best_by_finds_minimum_energy() {
+        let m = archer2();
+        let points = sweep_qubits(
+            &m,
+            [36u32],
+            &[NodeKind::Standard],
+            &CpuFrequency::all(),
+            qft,
+        );
+        let best = best_by(&points, |p| p.estimate.total_energy_j()).unwrap();
+        for p in &points {
+            assert!(best.estimate.total_energy_j() <= p.estimate.total_energy_j());
+        }
+    }
+
+    #[test]
+    fn best_by_on_empty_is_none() {
+        assert!(best_by(&[], |p| p.estimate.runtime_s).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Model-vs-measurement cross-validation.
+//!
+//! The analytic model's absolute constants describe ARCHER2, not this
+//! host — but its *orderings* (which variant wins) must agree with what
+//! the thread-cluster engine actually measures here, otherwise the model
+//! is rationalising rather than predicting. Wall-clock assertions use
+//! generous margins and deterministic byte counts wherever possible to
+//! stay robust on noisy CI machines.
+
+use qse_circuit::benchmarks::hadamard_benchmark;
+use qse_circuit::classify::{comm_summary, Layout};
+use qse_circuit::qft::{cache_blocked_qft, default_split, qft};
+use qse_core::{ModelExecutor, SimConfig, ThreadClusterExecutor};
+use qse_machine::archer2;
+
+/// The model predicts cache blocking halves QFT traffic; the engine's
+/// counters must measure exactly the same bytes the model charges.
+#[test]
+fn model_traffic_equals_measured_traffic() {
+    let n = 10u32;
+    let ranks = 8u64;
+    let machine = archer2();
+    let layout = Layout::new(n, ranks);
+    for circuit in [qft(n), cache_blocked_qft(n, default_split(n, layout.local_qubits()))] {
+        let est = ModelExecutor::new(&machine).run(&circuit, &SimConfig::default_for(ranks));
+        let run = ThreadClusterExecutor::run(&circuit, &SimConfig::default_for(ranks), 0, false);
+        // The model accumulates bytes per rank; the engine counts all
+        // ranks. Distributed gates involve every rank here.
+        assert_eq!(est.breakdown.comm_bytes * ranks, run.profiled.bytes_sent);
+        // And both agree with the static classifier.
+        let summary = comm_summary(&circuit, &layout);
+        assert_eq!(est.breakdown.comm_bytes, summary.bytes_full_exchange);
+    }
+}
+
+/// Ordering agreement on the worst-case-vs-local contrast: the model says
+/// a distributed Hadamard costs far more than a local one; measured
+/// wall-clock on the thread cluster must at least preserve the ordering.
+#[test]
+fn model_and_measurement_agree_on_locality_ordering() {
+    let n = 16u32;
+    let ranks = 4u64;
+    let machine = archer2();
+    let gates = 12usize;
+    let local_c = hadamard_benchmark(n, 0, gates);
+    let dist_c = hadamard_benchmark(n, n - 1, gates);
+
+    let model_local = ModelExecutor::new(&machine).run(&local_c, &SimConfig::default_for(ranks));
+    let model_dist = ModelExecutor::new(&machine).run(&dist_c, &SimConfig::default_for(ranks));
+    assert!(model_dist.runtime_s > 5.0 * model_local.runtime_s);
+
+    // Measure with a couple of retries to ride out scheduler noise.
+    let mut agreed = false;
+    for _ in 0..3 {
+        let run_local = ThreadClusterExecutor::run(&local_c, &SimConfig::default_for(ranks), 0, false);
+        let run_dist = ThreadClusterExecutor::run(&dist_c, &SimConfig::default_for(ranks), 0, false);
+        if run_dist.profiled.wall_s > run_local.profiled.wall_s {
+            agreed = true;
+            break;
+        }
+    }
+    assert!(agreed, "measured ordering never matched the model");
+}
+
+/// The model's profile fractions match the engine's measured per-class
+/// attribution in ordering: worst-case > built-in QFT > cache-blocked.
+#[test]
+fn profile_orderings_agree() {
+    let n = 14u32;
+    let ranks = 4u64;
+    let machine = archer2();
+    let layout = Layout::new(n, ranks);
+    let circuits = [
+        hadamard_benchmark(n, n - 1, 10),
+        qft(n),
+        cache_blocked_qft(n, default_split(n, layout.local_qubits())),
+    ];
+    let model_fracs: Vec<f64> = circuits
+        .iter()
+        .map(|c| {
+            ModelExecutor::new(&machine)
+                .run(c, &SimConfig::default_for(ranks))
+                .comm_fraction()
+        })
+        .collect();
+    let measured_fracs: Vec<f64> = circuits
+        .iter()
+        .map(|c| {
+            ThreadClusterExecutor::run(c, &SimConfig::default_for(ranks), 0, false)
+                .profiled
+                .profile
+                .distributed_fraction()
+        })
+        .collect();
+    assert!(model_fracs[0] > model_fracs[1] && model_fracs[1] > model_fracs[2]);
+    assert!(
+        measured_fracs[0] > measured_fracs[2],
+        "measured: {measured_fracs:?}"
+    );
+}

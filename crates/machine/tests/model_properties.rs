@@ -1,0 +1,145 @@
+//! Property-style invariants of the performance/energy model, checked
+//! across the whole configuration space rather than at single points.
+
+use proptest::prelude::*;
+use qse_circuit::benchmarks::hadamard_benchmark;
+use qse_circuit::qft::qft;
+use qse_circuit::random::{random_circuit, GatePool};
+use qse_machine::cost::{CommMode, ModelConfig};
+use qse_machine::variants::gpu_machine;
+use qse_machine::{archer2, estimate, CpuFrequency, NodeKind};
+
+fn any_config() -> impl Strategy<Value = ModelConfig> {
+    (
+        prop_oneof![Just(NodeKind::Standard), Just(NodeKind::HighMem)],
+        prop_oneof![
+            Just(CpuFrequency::Low),
+            Just(CpuFrequency::Medium),
+            Just(CpuFrequency::High)
+        ],
+        prop_oneof![Just(CommMode::Blocking), Just(CommMode::NonBlocking)],
+        any::<bool>(),
+        prop_oneof![Just(None), Just(Some(2usize)), Just(Some(8usize))],
+        0u32..5, // node exponent: 1..16 nodes
+    )
+        .prop_map(
+            |(node_kind, frequency, comm_mode, half, fuse, exp)| ModelConfig {
+                node_kind,
+                frequency,
+                comm_mode,
+                half_exchange_swaps: half,
+                fuse_diagonals: fuse,
+                n_nodes: 1 << exp,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Estimates are always finite, positive, and internally consistent
+    /// (components sum to the runtime; fractions sum to 1; energy is
+    /// positive) — for every configuration and circuit shape.
+    #[test]
+    fn estimates_are_well_formed(cfg in any_config(), seed in 0u64..50) {
+        let machine = archer2();
+        let n_qubits = 18 + (seed % 4) as u32;
+        let circuit = random_circuit(n_qubits, 30, GatePool::Full, seed);
+        let est = estimate(&circuit, &machine, &cfg);
+        prop_assert!(est.runtime_s.is_finite() && est.runtime_s > 0.0);
+        prop_assert!(est.total_energy_j().is_finite() && est.total_energy_j() > 0.0);
+        let sum = est.breakdown.compute_s + est.breakdown.memory_s + est.breakdown.comm_s;
+        prop_assert!((sum - est.runtime_s).abs() < 1e-9);
+        let fracs = est.comm_fraction() + est.memory_fraction() + est.compute_fraction();
+        prop_assert!((fracs - 1.0).abs() < 1e-9);
+        prop_assert!(est.cu > 0.0);
+        prop_assert_eq!(est.gates.is_empty(), circuit.is_empty());
+    }
+
+    /// Non-blocking communication never loses to blocking, for any
+    /// circuit, on either machine.
+    #[test]
+    fn nonblocking_never_slower(seed in 0u64..30) {
+        let circuit = random_circuit(20, 40, GatePool::Full, seed);
+        for machine in [archer2(), gpu_machine()] {
+            let blocking = estimate(&circuit, &machine, &ModelConfig::default_for(8));
+            let nonblocking = estimate(
+                &circuit,
+                &machine,
+                &ModelConfig { comm_mode: CommMode::NonBlocking, ..ModelConfig::default_for(8) },
+            );
+            prop_assert!(nonblocking.runtime_s <= blocking.runtime_s + 1e-12);
+        }
+    }
+
+    /// Half-exchange SWAPs never increase runtime or traffic.
+    #[test]
+    fn half_exchange_never_worse(seed in 0u64..30) {
+        let machine = archer2();
+        let circuit = random_circuit(20, 40, GatePool::QftLike, seed);
+        let full = estimate(&circuit, &machine, &ModelConfig::default_for(8));
+        let half = estimate(
+            &circuit,
+            &machine,
+            &ModelConfig { half_exchange_swaps: true, ..ModelConfig::default_for(8) },
+        );
+        prop_assert!(half.runtime_s <= full.runtime_s + 1e-12);
+        prop_assert!(half.breakdown.comm_bytes <= full.breakdown.comm_bytes);
+    }
+
+    /// More gates never cost less (monotonicity under circuit extension).
+    #[test]
+    fn extending_a_circuit_costs_more(seed in 0u64..30) {
+        let machine = archer2();
+        let short = random_circuit(18, 20, GatePool::Full, seed);
+        let long = short.then(&random_circuit(18, 10, GatePool::Full, seed + 1));
+        let cfg = ModelConfig::default_for(4);
+        let a = estimate(&short, &machine, &cfg);
+        let b = estimate(&long, &machine, &cfg);
+        prop_assert!(b.runtime_s >= a.runtime_s);
+        prop_assert!(b.total_energy_j() >= a.total_energy_j());
+    }
+}
+
+/// Frequency ordering holds on whole-job estimates, not just per-phase
+/// power: low is slowest, high is fastest; high is the most energy.
+#[test]
+fn frequency_ordering_on_jobs() {
+    let machine = archer2();
+    let circuit = qft(22);
+    let runs: Vec<_> = CpuFrequency::all()
+        .into_iter()
+        .map(|f| {
+            estimate(
+                &circuit,
+                &machine,
+                &ModelConfig {
+                    frequency: f,
+                    ..ModelConfig::default_for(8)
+                },
+            )
+        })
+        .collect();
+    let (low, med, high) = (&runs[0], &runs[1], &runs[2]);
+    assert!(low.runtime_s > med.runtime_s);
+    assert!(med.runtime_s > high.runtime_s);
+    assert!(high.total_energy_j() > med.total_energy_j());
+}
+
+/// The worst-case circuit dominates everything else of equal length:
+/// 50 distributed Hadamards cost more than 50 of any other gate.
+#[test]
+fn worst_case_is_worst() {
+    let machine = archer2();
+    let cfg = ModelConfig::default_for(8);
+    let n = 20u32;
+    let worst = estimate(&hadamard_benchmark(n, n - 1, 50), &machine, &cfg);
+    for other in [
+        hadamard_benchmark(n, 0, 50),
+        random_circuit(n, 50, GatePool::DiagonalOnly, 3),
+    ] {
+        let est = estimate(&other, &machine, &cfg);
+        assert!(est.runtime_s < worst.runtime_s);
+        assert!(est.total_energy_j() < worst.total_energy_j());
+    }
+}

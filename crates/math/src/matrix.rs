@@ -1,0 +1,310 @@
+//! Small dense complex matrices for gate definitions.
+//!
+//! [`Matrix2`] represents a single-qubit operator; [`Matrix4`] a two-qubit
+//! operator. Both carry unitarity checks that the circuit IR uses to reject
+//! malformed custom gates, and composition/adjoint operations used to build
+//! inverse circuits in tests.
+
+use crate::approx::close;
+use crate::complex::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 complex matrix in row-major order: `[[a, b], [c, d]]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix2 {
+    /// Row-major elements `[a, b, c, d]`.
+    pub m: [Complex64; 4],
+}
+
+impl Matrix2 {
+    /// Builds a matrix from row-major elements.
+    pub const fn new(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Self {
+        Matrix2 { m: [a, b, c, d] }
+    }
+
+    /// The 2×2 identity.
+    pub const fn identity() -> Self {
+        Matrix2::new(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        )
+    }
+
+    /// Builds a diagonal matrix `diag(d0, d1)`.
+    pub const fn diagonal(d0: Complex64, d1: Complex64) -> Self {
+        Matrix2::new(d0, Complex64::ZERO, Complex64::ZERO, d1)
+    }
+
+    /// Element access by (row, col).
+    #[inline(always)]
+    pub fn at(&self, row: usize, col: usize) -> Complex64 {
+        self.m[row * 2 + col]
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Matrix2) -> Matrix2 {
+        let mut out = [Complex64::ZERO; 4];
+        for r in 0..2 {
+            for c in 0..2 {
+                out[r * 2 + c] = self.at(r, 0) * rhs.at(0, c) + self.at(r, 1) * rhs.at(1, c);
+            }
+        }
+        Matrix2 { m: out }
+    }
+
+    /// Conjugate transpose (adjoint / dagger).
+    pub fn adjoint(&self) -> Matrix2 {
+        Matrix2::new(
+            self.at(0, 0).conj(),
+            self.at(1, 0).conj(),
+            self.at(0, 1).conj(),
+            self.at(1, 1).conj(),
+        )
+    }
+
+    /// Applies the matrix to an amplitude pair `(a0, a1)`.
+    #[inline(always)]
+    pub fn apply(&self, a0: Complex64, a1: Complex64) -> (Complex64, Complex64) {
+        (
+            self.m[0] * a0 + self.m[1] * a1,
+            self.m[2] * a0 + self.m[3] * a1,
+        )
+    }
+
+    /// True when `U†U = I` within `tol` on every element.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.adjoint().matmul(self);
+        let id = Matrix2::identity();
+        p.m.iter()
+            .zip(id.m.iter())
+            .all(|(&x, &y)| close(x.re, y.re, tol) && close(x.im, y.im, tol))
+    }
+
+    /// True when both off-diagonal elements are (numerically) zero — the
+    /// paper's "fully local" gate class.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        self.m[1].abs() <= tol && self.m[2].abs() <= tol
+    }
+}
+
+/// A 4×4 complex matrix in row-major order, acting on two qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix4 {
+    /// Row-major elements.
+    pub m: [Complex64; 16],
+}
+
+impl Matrix4 {
+    /// Builds a matrix from row-major elements.
+    pub const fn new(m: [Complex64; 16]) -> Self {
+        Matrix4 { m }
+    }
+
+    /// The 4×4 identity.
+    pub fn identity() -> Self {
+        let mut m = [Complex64::ZERO; 16];
+        for i in 0..4 {
+            m[i * 4 + i] = Complex64::ONE;
+        }
+        Matrix4 { m }
+    }
+
+    /// Element access by (row, col).
+    #[inline(always)]
+    pub fn at(&self, row: usize, col: usize) -> Complex64 {
+        self.m[row * 4 + col]
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Matrix4) -> Matrix4 {
+        let mut out = [Complex64::ZERO; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                let mut acc = Complex64::ZERO;
+                for k in 0..4 {
+                    acc += self.at(r, k) * rhs.at(k, c);
+                }
+                out[r * 4 + c] = acc;
+            }
+        }
+        Matrix4 { m: out }
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix4 {
+        let mut out = [Complex64::ZERO; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                out[c * 4 + r] = self.at(r, c).conj();
+            }
+        }
+        Matrix4 { m: out }
+    }
+
+    /// Kronecker product `a ⊗ b` (a acts on the higher qubit).
+    pub fn kron(a: &Matrix2, b: &Matrix2) -> Matrix4 {
+        let mut m = [Complex64::ZERO; 16];
+        for ar in 0..2 {
+            for ac in 0..2 {
+                for br in 0..2 {
+                    for bc in 0..2 {
+                        m[(ar * 2 + br) * 4 + (ac * 2 + bc)] = a.at(ar, ac) * b.at(br, bc);
+                    }
+                }
+            }
+        }
+        Matrix4 { m }
+    }
+
+    /// Applies the matrix to a four-amplitude orbit.
+    #[inline]
+    pub fn apply(&self, a: [Complex64; 4]) -> [Complex64; 4] {
+        let mut out = [Complex64::ZERO; 4];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (c, &amp) in a.iter().enumerate() {
+                acc += self.at(r, c) * amp;
+            }
+            *slot = acc;
+        }
+        out
+    }
+
+    /// True when `U†U = I` within `tol` on every element.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.adjoint().matmul(self);
+        let id = Matrix4::identity();
+        p.m.iter()
+            .zip(id.m.iter())
+            .all(|(&x, &y)| close(x.re, y.re, tol) && close(x.im, y.im, tol))
+    }
+
+    /// True when every off-diagonal element is (numerically) zero.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        (0..4).all(|r| (0..4).all(|c| r == c || self.at(r, c).abs() <= tol))
+    }
+
+    /// The SWAP matrix in the `|b a⟩` basis (exchanges `|01⟩` and `|10⟩`).
+    pub fn swap() -> Matrix4 {
+        let mut m = [Complex64::ZERO; 16];
+        m[0] = Complex64::ONE;
+        m[6] = Complex64::ONE; // row 1, col 2
+        m[9] = Complex64::ONE; // row 2, col 1
+        m[15] = Complex64::ONE;
+        Matrix4 { m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_complex_close;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    fn hadamard() -> Matrix2 {
+        let h = Complex64::real(FRAC_1_SQRT_2);
+        Matrix2::new(h, h, h, -h)
+    }
+
+    #[test]
+    fn identity_is_unitary_and_diagonal() {
+        assert!(Matrix2::identity().is_unitary(1e-12));
+        assert!(Matrix2::identity().is_diagonal(1e-12));
+        assert!(Matrix4::identity().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn hadamard_is_unitary_not_diagonal() {
+        assert!(hadamard().is_unitary(1e-12));
+        assert!(!hadamard().is_diagonal(1e-12));
+    }
+
+    #[test]
+    fn hadamard_squared_is_identity() {
+        let h = hadamard();
+        let h2 = h.matmul(&h);
+        for (got, want) in h2.m.iter().zip(Matrix2::identity().m.iter()) {
+            assert_complex_close(*got, *want, 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_matches_matmul_on_basis() {
+        let h = hadamard();
+        let (a0, a1) = h.apply(Complex64::ONE, Complex64::ZERO);
+        assert_complex_close(a0, Complex64::real(FRAC_1_SQRT_2), 1e-12);
+        assert_complex_close(a1, Complex64::real(FRAC_1_SQRT_2), 1e-12);
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let h = hadamard();
+        let s = Matrix2::diagonal(Complex64::ONE, Complex64::I);
+        let lhs = h.matmul(&s).adjoint();
+        let rhs = s.adjoint().matmul(&h.adjoint());
+        for (a, b) in lhs.m.iter().zip(rhs.m.iter()) {
+            assert_complex_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_unitary_detected() {
+        let bad = Matrix2::new(
+            Complex64::real(2.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::ONE,
+        );
+        assert!(!bad.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn kron_of_identities_is_identity() {
+        let k = Matrix4::kron(&Matrix2::identity(), &Matrix2::identity());
+        for (a, b) in k.m.iter().zip(Matrix4::identity().m.iter()) {
+            assert_complex_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn kron_hadamards_is_unitary() {
+        let k = Matrix4::kron(&hadamard(), &hadamard());
+        assert!(k.is_unitary(1e-12));
+        // every element magnitude is 1/2
+        for e in k.m.iter() {
+            assert!((e.abs() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix4_apply_identity_fixes_vector() {
+        let v = [
+            Complex64::new(0.1, 0.2),
+            Complex64::new(0.3, -0.4),
+            Complex64::new(-0.5, 0.6),
+            Complex64::new(0.7, 0.8),
+        ];
+        let got = Matrix4::identity().apply(v);
+        for (a, b) in got.iter().zip(v.iter()) {
+            assert_complex_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn swap_matrix_is_unitary_involution() {
+        // SWAP in the computational basis |q1 q0>: swaps |01> and |10>.
+        let mut m = [Complex64::ZERO; 16];
+        m[0] = Complex64::ONE;
+        m[6] = Complex64::ONE; // row 1, col 2
+        m[9] = Complex64::ONE; // row 2, col 1
+        m[15] = Complex64::ONE;
+        let swap = Matrix4::new(m);
+        assert!(swap.is_unitary(1e-12));
+        let sq = swap.matmul(&swap);
+        for (a, b) in sq.m.iter().zip(Matrix4::identity().m.iter()) {
+            assert_complex_close(*a, *b, 1e-12);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Phase functions for diagonal gates.
+//!
+//! A diagonal gate multiplies amplitude `|i⟩` by a phase that depends only
+//! on `i`'s bits — the paper's *fully local* class. This module evaluates
+//! that phase for one gate or for a fused run of gates (a single sweep
+//! applying the product of all phases, the optimisation behind QuEST's
+//! efficient controlled-phase application).
+
+use qse_circuit::Gate;
+use qse_math::bits;
+use qse_math::Complex64;
+use std::f64::consts::FRAC_PI_4;
+
+/// The phase a diagonal gate applies to basis state `index`.
+///
+/// # Panics
+/// Panics on non-diagonal gates — callers classify first.
+pub fn diagonal_phase(gate: &Gate, index: u64) -> Complex64 {
+    match *gate {
+        Gate::Z(q) => {
+            if bits::bit(index, q) == 1 {
+                Complex64::real(-1.0)
+            } else {
+                Complex64::ONE
+            }
+        }
+        Gate::S(q) => phase_if(index, q, Complex64::I),
+        Gate::Sdg(q) => phase_if(index, q, -Complex64::I),
+        Gate::T(q) => phase_if(index, q, Complex64::cis(FRAC_PI_4)),
+        Gate::Tdg(q) => phase_if(index, q, Complex64::cis(-FRAC_PI_4)),
+        Gate::Phase { target, theta } => phase_if(index, target, Complex64::cis(theta)),
+        Gate::Rz { target, theta } => {
+            if bits::bit(index, target) == 1 {
+                Complex64::cis(theta / 2.0)
+            } else {
+                Complex64::cis(-theta / 2.0)
+            }
+        }
+        Gate::CZ(a, b) => {
+            if bits::bit(index, a) == 1 && bits::bit(index, b) == 1 {
+                Complex64::real(-1.0)
+            } else {
+                Complex64::ONE
+            }
+        }
+        Gate::CPhase { a, b, theta } => {
+            if bits::bit(index, a) == 1 && bits::bit(index, b) == 1 {
+                Complex64::cis(theta)
+            } else {
+                Complex64::ONE
+            }
+        }
+        Gate::Unitary1 { target, matrix } => {
+            debug_assert!(matrix.is_diagonal(1e-14), "non-diagonal unitary");
+            if bits::bit(index, target) == 1 {
+                matrix.at(1, 1)
+            } else {
+                matrix.at(0, 0)
+            }
+        }
+        Gate::MCPhase { ref qubits, theta } => {
+            if qubits.iter().all(|&q| bits::bit(index, q) == 1) {
+                Complex64::cis(theta)
+            } else {
+                Complex64::ONE
+            }
+        }
+        Gate::CUnitary {
+            control,
+            target,
+            matrix,
+        } => {
+            debug_assert!(matrix.is_diagonal(1e-14), "non-diagonal unitary");
+            if bits::bit(index, control) == 1 {
+                if bits::bit(index, target) == 1 {
+                    matrix.at(1, 1)
+                } else {
+                    matrix.at(0, 0)
+                }
+            } else {
+                Complex64::ONE
+            }
+        }
+        Gate::Unitary2 { a, b, matrix } => {
+            debug_assert!(matrix.is_diagonal(1e-14), "non-diagonal unitary");
+            let idx = ((bits::bit(index, b) << 1) | bits::bit(index, a)) as usize;
+            matrix.at(idx, idx)
+        }
+        ref g => panic!("diagonal_phase called on non-diagonal gate {g}"),
+    }
+}
+
+#[inline(always)]
+fn phase_if(index: u64, q: u32, p: Complex64) -> Complex64 {
+    if bits::bit(index, q) == 1 {
+        p
+    } else {
+        Complex64::ONE
+    }
+}
+
+/// The combined phase of a run of diagonal gates — what a fused sweep
+/// applies per amplitude.
+pub fn fused_phase(gates: &[Gate], index: u64) -> Complex64 {
+    gates
+        .iter()
+        .fold(Complex64::ONE, |acc, g| acc * diagonal_phase(g, index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_math::approx::assert_complex_close;
+
+    #[test]
+    fn z_phase() {
+        assert_eq!(diagonal_phase(&Gate::Z(1), 0b01), Complex64::ONE);
+        assert_eq!(diagonal_phase(&Gate::Z(1), 0b10), Complex64::real(-1.0));
+    }
+
+    #[test]
+    fn s_t_relations() {
+        // T·T = S on every index.
+        for idx in 0..8u64 {
+            let t2 = diagonal_phase(&Gate::T(1), idx) * diagonal_phase(&Gate::T(1), idx);
+            assert_complex_close(t2, diagonal_phase(&Gate::S(1), idx), 1e-12);
+        }
+        // S·Sdg = 1.
+        for idx in 0..8u64 {
+            let p = diagonal_phase(&Gate::S(2), idx) * diagonal_phase(&Gate::Sdg(2), idx);
+            assert_complex_close(p, Complex64::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn cphase_needs_both_bits() {
+        let g = Gate::CPhase {
+            a: 0,
+            b: 2,
+            theta: 0.5,
+        };
+        assert_eq!(diagonal_phase(&g, 0b001), Complex64::ONE);
+        assert_eq!(diagonal_phase(&g, 0b100), Complex64::ONE);
+        assert_complex_close(diagonal_phase(&g, 0b101), Complex64::cis(0.5), 1e-12);
+    }
+
+    #[test]
+    fn rz_splits_phase_symmetrically() {
+        let g = Gate::Rz {
+            target: 0,
+            theta: 0.8,
+        };
+        let p0 = diagonal_phase(&g, 0);
+        let p1 = diagonal_phase(&g, 1);
+        assert_complex_close(p0 * p1, Complex64::ONE, 1e-12);
+        assert_complex_close(p1, Complex64::cis(0.4), 1e-12);
+    }
+
+    #[test]
+    fn fused_equals_product() {
+        let gates = vec![
+            Gate::S(0),
+            Gate::T(1),
+            Gate::CPhase {
+                a: 0,
+                b: 1,
+                theta: 0.3,
+            },
+            Gate::Z(0),
+        ];
+        for idx in 0..4u64 {
+            let expect = gates
+                .iter()
+                .fold(Complex64::ONE, |a, g| a * diagonal_phase(g, idx));
+            assert_complex_close(fused_phase(&gates, idx), expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_unitary1_uses_matrix_entries() {
+        let m = qse_math::Matrix2::diagonal(Complex64::cis(0.1), Complex64::cis(0.2));
+        let g = Gate::Unitary1 { target: 1, matrix: m };
+        assert_complex_close(diagonal_phase(&g, 0b00), Complex64::cis(0.1), 1e-12);
+        assert_complex_close(diagonal_phase(&g, 0b10), Complex64::cis(0.2), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-diagonal gate")]
+    fn rejects_non_diagonal() {
+        diagonal_phase(&Gate::H(0), 0);
+    }
+}

@@ -1,0 +1,868 @@
+//! The distributed statevector engine — QuEST's execution model (§2.1).
+//!
+//! "QuEST requires the statevector to be split evenly across 2^n
+//! processes. This ensures pairwise communication for any given gate. It
+//! also means that the entire local statevector needs to be exchanged."
+//!
+//! Each rank of a [`qse_comm::Universe`] owns `2^{n−r}` amplitudes. Gates
+//! dispatch on the paper's locality classes:
+//!
+//! * fully local (diagonal) → one phase sweep, no communication;
+//! * local memory → in-place pair kernel;
+//! * distributed → chunked exchange with the single pair rank
+//!   (`rank XOR 2^{q−(n−r)}`), then a linear combine.
+//!
+//! Distributed SWAPs additionally support the paper's future-work *half
+//! exchange* (§4): only the amplitudes whose swap bits differ move, which
+//! halves both traffic and buffer requirements.
+
+use crate::diagonal::{diagonal_phase, fused_phase};
+use crate::storage::{init_basis, AmpStorage, SoaStorage};
+use qse_circuit::classify::{classify, GateClass, Layout};
+use qse_circuit::transpile::fusion::{fused_schedule, ScheduleStep};
+use qse_circuit::{Circuit, Gate};
+use qse_comm::chunking::{exchange, ChunkPolicy, ExchangeMode};
+use qse_comm::collective;
+use qse_comm::message::{bytes_to_f64s, f64s_to_bytes};
+use qse_comm::{Communicator, TrafficStats};
+use qse_math::bits;
+use qse_math::Complex64;
+
+/// Exchange and execution options for a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistConfig {
+    /// Blocking sendrecv (QuEST default) or the paper's non-blocking
+    /// rewrite.
+    pub exchange_mode: ExchangeMode,
+    /// Per-message size cap; ARCHER2's is 2 GiB, tests use small values
+    /// to force multi-chunk exchanges.
+    pub chunk_policy: ChunkPolicy,
+    /// Use the half exchange for distributed SWAPs (§4 future work).
+    pub half_exchange_swaps: bool,
+    /// Fuse runs of ≥ this many diagonal gates into one sweep in
+    /// [`DistributedState::run`]; `None` disables fusion.
+    pub min_fuse: Option<usize>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            exchange_mode: ExchangeMode::Blocking,
+            chunk_policy: ChunkPolicy::new(1 << 20).expect("nonzero"),
+            half_exchange_swaps: false,
+            min_fuse: None,
+        }
+    }
+}
+
+/// Per-rank view of a distributed statevector. Lives inside one rank's
+/// thread and borrows that rank's [`Communicator`].
+pub struct DistributedState<'c, S: AmpStorage = SoaStorage> {
+    comm: &'c mut Communicator,
+    layout: Layout,
+    amps: S,
+    config: DistConfig,
+    exchange_seq: u64,
+}
+
+/// User exchange tags must stay below `2^31` (see `qse_comm::chunking`).
+const TAG_MOD: u64 = 1 << 30;
+
+impl<'c, S: AmpStorage> DistributedState<'c, S> {
+    /// Creates |00…0⟩ distributed over every rank of `comm`'s universe.
+    pub fn zero_state(comm: &'c mut Communicator, n_qubits: u32, config: DistConfig) -> Self {
+        Self::basis_state(comm, n_qubits, 0, config)
+    }
+
+    /// Creates the computational basis state |index⟩.
+    pub fn basis_state(
+        comm: &'c mut Communicator,
+        n_qubits: u32,
+        index: u64,
+        config: DistConfig,
+    ) -> Self {
+        let layout = Layout::new(n_qubits, comm.size() as u64);
+        let mut amps = S::zeros(layout.local_amps() as usize);
+        let offset = comm.rank() as u64 * layout.local_amps();
+        init_basis(&mut amps, offset, index);
+        DistributedState {
+            comm,
+            layout,
+            amps,
+            config,
+            exchange_seq: 0,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// The register/rank layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The global index of this rank's first amplitude.
+    pub fn rank_offset(&self) -> u64 {
+        self.rank() as u64 * self.layout.local_amps()
+    }
+
+    /// Immutable access to the local amplitudes.
+    pub fn local(&self) -> &S {
+        &self.amps
+    }
+
+    /// Communication statistics for this rank.
+    pub fn stats(&self) -> TrafficStats {
+        self.comm.stats()
+    }
+
+    /// Synchronises every rank (delegates to the communicator barrier).
+    pub fn barrier(&self) {
+        self.comm.barrier();
+    }
+
+    /// Advances the per-gate tag sequence. Called exactly once per
+    /// *distributed gate* on **every** rank — including spectator ranks
+    /// that skip the exchange — so that partners always agree on wire
+    /// tags regardless of participation history.
+    fn next_tag(&mut self) -> u64 {
+        self.exchange_seq += 1;
+        self.exchange_seq % TAG_MOD
+    }
+
+    /// Full pairwise exchange: ship the entire local vector to `peer`,
+    /// receive theirs — "the entire local statevector needs to be
+    /// exchanged – 64 GB per process on ARCHER2" (§2.1).
+    fn exchange_full(&mut self, peer: usize, tag: u64) -> Vec<f64> {
+        let send = f64s_to_bytes(&self.amps.to_f64_vec());
+        let mut recv = Vec::with_capacity(send.len());
+        exchange(
+            self.config.exchange_mode,
+            self.comm,
+            peer,
+            tag,
+            &send,
+            &mut recv,
+            send.len(),
+            self.config.chunk_policy,
+        )
+        .expect("exchange failed");
+        bytes_to_f64s(&recv)
+    }
+
+    /// Half exchange for SWAPs: ship only the amplitudes whose `local_q`
+    /// bit equals `send_v`; receive the peer's complementary half.
+    fn exchange_half(&mut self, peer: usize, tag: u64, local_q: u32, send_v: u64) -> Vec<f64> {
+        let send = f64s_to_bytes(&self.amps.extract_half_bit(local_q, send_v));
+        let mut recv = Vec::with_capacity(send.len());
+        exchange(
+            self.config.exchange_mode,
+            self.comm,
+            peer,
+            tag,
+            &send,
+            &mut recv,
+            send.len(),
+            self.config.chunk_policy,
+        )
+        .expect("exchange failed");
+        bytes_to_f64s(&recv)
+    }
+
+    /// Applies one gate, communicating as its locality class requires.
+    pub fn apply(&mut self, gate: &Gate) {
+        assert!(
+            gate.max_qubit() < self.layout.n_qubits(),
+            "gate out of range"
+        );
+        match classify(gate, &self.layout) {
+            GateClass::FullyLocal => {
+                let offset = self.rank_offset();
+                self.amps
+                    .apply_phase_fn(offset, &|i| diagonal_phase(gate, i));
+            }
+            GateClass::LocalMemory => match *gate {
+                Gate::Swap(a, b) => self.amps.swap_local(a, b),
+                Gate::Unitary2 { a, b, ref matrix } => self.amps.apply_orbit4(a, b, matrix),
+                ref g => {
+                    let m = g.matrix1().expect("single-target matrix");
+                    match g.control() {
+                        Some(c) if !self.layout.is_local(c) => {
+                            // Global control: this rank applies the plain
+                            // gate iff its control bit is set.
+                            if self.rank_bit_value(c) == 1 {
+                                self.amps.apply_pairs(g.target(), &m, None);
+                            }
+                        }
+                        ctrl => self.amps.apply_pairs(g.target(), &m, ctrl),
+                    }
+                }
+            },
+            GateClass::Distributed => {
+                let tag = self.next_tag();
+                match *gate {
+                    Gate::Swap(a, b) => self.distributed_swap(a, b, tag),
+                    Gate::Unitary2 { a, b, ref matrix } => {
+                        self.distributed_unitary2(a, b, matrix, tag)
+                    }
+                    ref g => {
+                        let m = g.matrix1().expect("single-target matrix");
+                        self.distributed_1q(&m, g.target(), g.control(), tag);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of this rank's address bit for global qubit `q`.
+    fn rank_bit_value(&self, q: u32) -> u64 {
+        (self.rank() as u64 >> self.layout.rank_bit(q)) & 1
+    }
+
+    /// Distributed single-target gate: exchange with the pair rank, then
+    /// combine rows — `new = M[b][b]·mine + M[b][1−b]·theirs` where `b` is
+    /// this rank's bit of the target qubit.
+    fn distributed_1q(
+        &mut self,
+        m: &qse_math::Matrix2,
+        target: u32,
+        control: Option<u32>,
+        tag: u64,
+    ) {
+        // A *global* control gates participation: ranks with the bit clear
+        // are spectators (their pair rank shares the same control bit, so
+        // neither side exchanges anything).
+        let control_local = match control {
+            Some(c) if !self.layout.is_local(c) => {
+                if self.rank_bit_value(c) == 0 {
+                    return;
+                }
+                None
+            }
+            other => other,
+        };
+        let pair = self.layout.pair_rank(self.rank() as u64, target) as usize;
+        let theirs = self.exchange_full(pair, tag);
+        let b = self.rank_bit_value(target) as usize;
+        self.amps
+            .combine_rows(m.at(b, b), m.at(b, 1 - b), &theirs, control_local);
+    }
+
+    /// Distributed general two-qubit unitary.
+    ///
+    /// One-global case: exchange with the pair rank of the global qubit
+    /// and run the 4×4 combine over local pairs. Both-global case: QuEST-
+    /// style decomposition — SWAP the lower global qubit with a free
+    /// local qubit, apply the one-global form, SWAP back (three
+    /// exchanges; the transpiler exists precisely to avoid paying this).
+    fn distributed_unitary2(&mut self, a: u32, b: u32, m: &qse_math::Matrix4, tag: u64) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if self.layout.is_local(lo) {
+            // `lo` local, `hi` global: orbit basis must be |hi lo⟩; if the
+            // caller's (a, b) order disagrees, conjugate by SWAP to
+            // reorder the matrix instead of the amplitudes.
+            let m_ord = if a == lo {
+                *m
+            } else {
+                let s = qse_math::Matrix4::swap();
+                s.matmul(&m.matmul(&s))
+            };
+            let g = self.rank_bit_value(hi);
+            let pair = self.layout.pair_rank(self.rank() as u64, hi) as usize;
+            let theirs = self.exchange_full(pair, tag);
+            self.amps.combine_orbit4(lo, g, &m_ord, &theirs);
+        } else {
+            // Both global: bring `lo` into the local window via a free
+            // local qubit (qubit 0 is never one of a/b here), using the
+            // same wire tag sequencing on every rank.
+            let temp = 0u32;
+            self.distributed_swap(temp, lo, tag);
+            let m_ord = if a == lo {
+                *m
+            } else {
+                let s = qse_math::Matrix4::swap();
+                s.matmul(&m.matmul(&s))
+            };
+            let tag2 = self.next_tag();
+            self.distributed_unitary2(temp, hi, &m_ord, tag2);
+            let tag3 = self.next_tag();
+            self.distributed_swap(temp, lo, tag3);
+        }
+    }
+
+    /// Distributed SWAP. One-global case supports the half exchange;
+    /// both-global is a pure block permutation between rank pairs.
+    fn distributed_swap(&mut self, a: u32, b: u32, tag: u64) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if self.layout.is_local(lo) {
+            // One local qubit `lo`, one global qubit `hi`.
+            let g = self.rank_bit_value(hi);
+            let pair = self.layout.pair_rank(self.rank() as u64, hi) as usize;
+            if self.config.half_exchange_swaps {
+                // Send the half the peer needs (bit_lo == 1−g), receive the
+                // half we need (bit_lo == g on their side), and write it
+                // into our bit_lo == 1−g slots.
+                let recv = self.exchange_half(pair, tag, lo, 1 - g);
+                self.amps.write_half_bit(lo, 1 - g, &recv);
+            } else {
+                // QuEST-style: exchange everything, use half of it.
+                let theirs = self.exchange_full(pair, tag);
+                let half = self.amps.len() as u64 / 2;
+                for k in 0..half {
+                    let l = bits::insert_zero_bit(k, lo) | ((1 - g) << lo);
+                    let src = bits::flip_bit(l, lo) as usize;
+                    self.amps.set(
+                        l as usize,
+                        Complex64::new(theirs[2 * src], theirs[2 * src + 1]),
+                    );
+                }
+            }
+        } else {
+            // Both qubits global: ranks whose two address bits differ
+            // trade entire local vectors; equal-bit ranks are untouched.
+            let x = self.rank_bit_value(lo);
+            let y = self.rank_bit_value(hi);
+            if x == y {
+                return;
+            }
+            let mask =
+                (1u64 << self.layout.rank_bit(lo)) | (1u64 << self.layout.rank_bit(hi));
+            let pair = (self.rank() as u64 ^ mask) as usize;
+            let theirs = self.exchange_full(pair, tag);
+            self.amps.copy_from_f64(&theirs);
+        }
+    }
+
+    /// Runs a circuit, honouring the fusion setting.
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.n_qubits(),
+            self.layout.n_qubits(),
+            "width mismatch"
+        );
+        match self.config.min_fuse {
+            None => {
+                for g in circuit.gates() {
+                    self.apply(g);
+                }
+            }
+            Some(min_fuse) => {
+                let offset = self.rank_offset();
+                for step in fused_schedule(circuit, min_fuse) {
+                    match step {
+                        ScheduleStep::Single(i) => self.apply(&circuit.gates()[i]),
+                        ScheduleStep::Fused(run) => {
+                            let gates = &circuit.gates()[run.start..run.end];
+                            self.amps.apply_phase_fn(offset, &|i| fused_phase(gates, i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Global Σ|amp|² via all-reduce.
+    pub fn norm_sqr(&mut self) -> f64 {
+        let local = self.amps.norm_sqr_sum();
+        collective::allreduce_sum_f64(self.comm, &[local]).expect("allreduce")[0]
+    }
+
+    /// Global probability that measuring `qubit` yields 1.
+    pub fn prob_one(&mut self, qubit: u32) -> f64 {
+        let local = if self.layout.is_local(qubit) {
+            let mask = 1u64 << qubit;
+            let mut p = 0.0;
+            for i in 0..self.amps.len() as u64 {
+                if i & mask != 0 {
+                    p += self.amps.get(i as usize).norm_sqr();
+                }
+            }
+            p
+        } else if self.rank_bit_value(qubit) == 1 {
+            self.amps.norm_sqr_sum()
+        } else {
+            0.0
+        };
+        collective::allreduce_sum_f64(self.comm, &[local]).expect("allreduce")[0]
+    }
+
+    /// Expectation value ⟨ψ|P|ψ⟩ of a Pauli string on the distributed
+    /// state — collective: applies the Paulis (communicating for global
+    /// X/Y), all-reduces `⟨ψ, Pψ⟩`, and restores the original amplitudes.
+    pub fn pauli_expectation(&mut self, string: &[(u32, crate::expectation::Pauli)]) -> f64 {
+        use crate::expectation::Pauli;
+        {
+            let mut seen = std::collections::HashSet::new();
+            for (q, _) in string {
+                assert!(*q < self.layout.n_qubits(), "qubit {q} out of range");
+                assert!(seen.insert(*q), "duplicate qubit {q} in Pauli string");
+            }
+        }
+        let saved = self.amps.clone();
+        for &(q, p) in string {
+            let gate = match p {
+                Pauli::X => Gate::X(q),
+                Pauli::Y => Gate::Y(q),
+                Pauli::Z => Gate::Z(q),
+            };
+            self.apply(&gate);
+        }
+        let mut local = [0.0f64; 2];
+        for i in 0..saved.len() {
+            let v = saved.get(i).conj() * self.amps.get(i);
+            local[0] += v.re;
+            local[1] += v.im;
+        }
+        let total = collective::allreduce_sum_f64(self.comm, &local).expect("allreduce");
+        self.amps = saved;
+        debug_assert!(total[1].abs() < 1e-9, "non-real expectation");
+        total[0]
+    }
+
+    /// Projects `qubit` onto `bit` and renormalises — the distributed
+    /// collapse. Every rank must call this collectively (it all-reduces
+    /// the outcome probability).
+    ///
+    /// # Panics
+    /// Panics when the requested outcome has (numerically) zero
+    /// probability.
+    pub fn collapse(&mut self, qubit: u32, bit: u8) {
+        let p1 = self.prob_one(qubit);
+        let p = if bit == 1 { p1 } else { 1.0 - p1 };
+        assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
+        let scale = 1.0 / p.sqrt();
+        if self.layout.is_local(qubit) {
+            let mask = 1u64 << qubit;
+            for i in 0..self.amps.len() as u64 {
+                let v = if u8::from(i & mask != 0) == bit {
+                    self.amps.get(i as usize).scale(scale)
+                } else {
+                    Complex64::ZERO
+                };
+                self.amps.set(i as usize, v);
+            }
+        } else if self.rank_bit_value(qubit) as u8 == bit {
+            // Whole local slice survives, rescaled.
+            for i in 0..self.amps.len() {
+                let v = self.amps.get(i).scale(scale);
+                self.amps.set(i, v);
+            }
+        } else {
+            self.amps.fill_zero();
+        }
+    }
+
+    /// Measures `qubit` collectively: rank 0 draws the outcome from the
+    /// global distribution (using the uniform sample `u ∈ [0,1)` it
+    /// broadcasts), all ranks collapse identically, and the observed bit
+    /// is returned on every rank.
+    pub fn measure_qubit(&mut self, qubit: u32, u: f64) -> u8 {
+        // Broadcast rank 0's u so all ranks agree even if callers passed
+        // rank-local randomness.
+        let u_bytes = u.to_le_bytes();
+        let agreed = collective::broadcast(self.comm, 0, &u_bytes).expect("broadcast");
+        let u = f64::from_le_bytes(agreed[..8].try_into().expect("8 bytes"));
+        let p1 = self.prob_one(qubit);
+        let bit = u8::from(u < p1);
+        self.collapse(qubit, bit);
+        bit
+    }
+
+    /// Gathers the full statevector on rank 0 (`None` elsewhere).
+    /// Test-scale only: allocates the entire `2^n` vector.
+    pub fn gather(&mut self) -> Option<Vec<Complex64>> {
+        let local = f64s_to_bytes(&self.amps.to_f64_vec());
+        let parts = collective::gather(self.comm, 0, &local).expect("gather")?;
+        let mut full = Vec::with_capacity((self.layout.local_amps() as usize) * parts.len());
+        for part in parts {
+            let values = bytes_to_f64s(&part);
+            for pair in values.chunks_exact(2) {
+                full.push(Complex64::new(pair[0], pair[1]));
+            }
+        }
+        Some(full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceState;
+    use crate::storage::AosStorage;
+    use qse_circuit::qft::{cache_blocked_qft, qft};
+    use qse_circuit::random::{random_circuit, GatePool};
+    use qse_circuit::transpile::cache_blocking::cache_block;
+    use qse_circuit::Permutation;
+    use qse_comm::Universe;
+    use qse_math::approx::{assert_close, assert_slices_close};
+
+    /// Runs `circuit` distributed over `ranks` ranks and returns the full
+    /// state gathered on rank 0.
+    fn simulate_dist(
+        circuit: &Circuit,
+        ranks: usize,
+        config: DistConfig,
+        basis: u64,
+    ) -> Vec<Complex64> {
+        let out = Universe::new(ranks).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::basis_state(comm, circuit.n_qubits(), basis, config);
+            st.run(circuit);
+            st.gather()
+        });
+        out.into_iter().flatten().next().expect("rank 0 gathered")
+    }
+
+    fn reference(circuit: &Circuit, basis: u64) -> Vec<Complex64> {
+        let mut r = ReferenceState::basis_state(circuit.n_qubits(), basis);
+        r.run(circuit);
+        r.amplitudes().to_vec()
+    }
+
+    #[test]
+    fn single_rank_matches_reference() {
+        let c = random_circuit(6, 80, GatePool::Full, 1);
+        let got = simulate_dist(&c, 1, DistConfig::default(), 0);
+        assert_slices_close(&got, &reference(&c, 0), 1e-9);
+    }
+
+    #[test]
+    fn multi_rank_matches_reference() {
+        for ranks in [2usize, 4, 8] {
+            for seed in 0..3 {
+                let c = random_circuit(7, 60, GatePool::Full, seed);
+                let got = simulate_dist(&c, ranks, DistConfig::default(), 5);
+                assert_slices_close(&got, &reference(&c, 5), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn qft_distributed_matches_reference() {
+        let c = qft(8);
+        for ranks in [2usize, 4, 8, 16] {
+            let got = simulate_dist(&c, ranks, DistConfig::default(), 201);
+            assert_slices_close(&got, &reference(&c, 201), 1e-9);
+        }
+    }
+
+    #[test]
+    fn cache_blocked_qft_distributed_matches_reference() {
+        let n = 8;
+        let c = cache_blocked_qft(n, 5);
+        let want = reference(&qft(n), 99);
+        let got = simulate_dist(&c, 8, DistConfig::default(), 99);
+        assert_slices_close(&got, &want, 1e-9);
+    }
+
+    #[test]
+    fn nonblocking_identical_to_blocking() {
+        let c = random_circuit(7, 50, GatePool::Full, 9);
+        let blocking = simulate_dist(&c, 4, DistConfig::default(), 0);
+        let nonblocking = simulate_dist(
+            &c,
+            4,
+            DistConfig {
+                exchange_mode: ExchangeMode::NonBlocking,
+                ..DistConfig::default()
+            },
+            0,
+        );
+        assert_slices_close(&blocking, &nonblocking, 0.0);
+    }
+
+    #[test]
+    fn small_chunks_identical_to_large() {
+        let c = random_circuit(6, 40, GatePool::Full, 4);
+        let large = simulate_dist(&c, 4, DistConfig::default(), 0);
+        let small = simulate_dist(
+            &c,
+            4,
+            DistConfig {
+                chunk_policy: ChunkPolicy::new(64).unwrap(),
+                exchange_mode: ExchangeMode::NonBlocking,
+                ..DistConfig::default()
+            },
+            0,
+        );
+        assert_slices_close(&large, &small, 0.0);
+    }
+
+    #[test]
+    fn half_exchange_swaps_identical_to_full() {
+        let mut c = Circuit::new(7);
+        // exercise both one-global and both-global distributed swaps
+        c.h(0).swap(0, 6).h(1).swap(5, 6).swap(2, 5).h(6).swap(1, 4);
+        let full = simulate_dist(&c, 8, DistConfig::default(), 3);
+        let half = simulate_dist(
+            &c,
+            8,
+            DistConfig {
+                half_exchange_swaps: true,
+                ..DistConfig::default()
+            },
+            3,
+        );
+        assert_slices_close(&full, &half, 0.0);
+    }
+
+    #[test]
+    fn half_exchange_halves_swap_traffic() {
+        let mut c = Circuit::new(6);
+        c.swap(0, 5); // one-global swap: the half-exchangeable case
+        let bytes = |half: bool| {
+            let config = DistConfig {
+                half_exchange_swaps: half,
+                ..DistConfig::default()
+            };
+            let stats = Universe::new(4).run(|comm| {
+                let mut st: DistributedState<SoaStorage> =
+                    DistributedState::zero_state(comm, 6, config);
+                st.run(&c);
+                st.barrier();
+                st.stats().bytes_sent
+            });
+            stats.into_iter().sum::<u64>()
+        };
+        let full = bytes(false);
+        let half = bytes(true);
+        assert_eq!(half * 2, full);
+        assert!(full > 0);
+    }
+
+    #[test]
+    fn fusion_matches_unfused_distributed() {
+        let c = random_circuit(7, 80, GatePool::Full, 21);
+        let plain = simulate_dist(&c, 4, DistConfig::default(), 0);
+        let fused = simulate_dist(
+            &c,
+            4,
+            DistConfig {
+                min_fuse: Some(2),
+                ..DistConfig::default()
+            },
+            0,
+        );
+        assert_slices_close(&plain, &fused, 1e-12);
+    }
+
+    #[test]
+    fn aos_storage_matches_soa_distributed() {
+        let c = random_circuit(6, 50, GatePool::Full, 33);
+        let soa = simulate_dist(&c, 4, DistConfig::default(), 0);
+        let aos_out = Universe::new(4).run(|comm| {
+            let mut st: DistributedState<AosStorage> =
+                DistributedState::zero_state(comm, 6, DistConfig::default());
+            st.run(&c);
+            st.gather()
+        });
+        let aos = aos_out.into_iter().flatten().next().unwrap();
+        assert_slices_close(&soa, &aos, 1e-12);
+    }
+
+    #[test]
+    fn transpiled_circuit_equals_original_up_to_layout() {
+        // Contract of the general cache-blocking pass: T = Π(layout) · C.
+        let n = 7;
+        let c = random_circuit(n, 60, GatePool::Full, 55);
+        let layout_local = 4u32; // pretend 8 ranks (3 global qubits)
+        let t = cache_block(&c, layout_local);
+        let orig = reference(&c, 0);
+        let got = simulate_dist(&t.circuit, 8, DistConfig::default(), 0);
+        // got[π(i)] should equal orig[i], where π moves bit q to layout(q).
+        let perm: &Permutation = &t.layout;
+        let mut unpermuted = vec![Complex64::ZERO; orig.len()];
+        for (i, &amp) in orig.iter().enumerate() {
+            unpermuted[perm.permute_index(i as u64) as usize] = amp;
+        }
+        assert_slices_close(&got, &unpermuted, 1e-9);
+    }
+
+    #[test]
+    fn norm_and_prob_are_global() {
+        Universe::new(4).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::zero_state(comm, 6, DistConfig::default());
+            st.apply(&Gate::H(5)); // distributed H on the top qubit
+            assert_close(st.norm_sqr(), 1.0, 1e-12);
+            assert_close(st.prob_one(5), 0.5, 1e-12);
+            assert_close(st.prob_one(0), 0.0, 1e-12);
+            st.apply(&Gate::H(2)); // local H
+            assert_close(st.prob_one(2), 0.5, 1e-12);
+        });
+    }
+
+    #[test]
+    fn distributed_gate_moves_expected_bytes() {
+        // One distributed H on 4 ranks of a 6-qubit register: each rank
+        // exchanges its full 16-amplitude slice (256 bytes) once.
+        let stats = Universe::new(4).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::zero_state(comm, 6, DistConfig::default());
+            st.apply(&Gate::H(5));
+            st.barrier();
+            st.stats()
+        });
+        for s in &stats {
+            assert_eq!(s.bytes_sent, 16 * 16);
+            assert_eq!(s.bytes_received, 16 * 16);
+        }
+    }
+
+    #[test]
+    fn diagonal_gates_move_no_bytes() {
+        let stats = Universe::new(4).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::zero_state(comm, 6, DistConfig::default());
+            st.apply(&Gate::Z(5));
+            st.apply(&Gate::CPhase {
+                a: 4,
+                b: 5,
+                theta: 0.3,
+            });
+            st.apply(&Gate::T(5));
+            st.barrier();
+            st.stats()
+        });
+        for s in &stats {
+            assert_eq!(s.bytes_sent, 0);
+        }
+    }
+
+    #[test]
+    fn global_control_local_target_no_comm() {
+        let c = {
+            let mut c = Circuit::new(6);
+            c.h(0).cnot(5, 0);
+            c
+        };
+        let got = simulate_dist(&c, 4, DistConfig::default(), 0b100000);
+        assert_slices_close(&got, &reference(&c, 0b100000), 1e-12);
+        // and it must not have communicated
+        let stats = Universe::new(4).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::basis_state(comm, 6, 0b100000, DistConfig::default());
+            st.run(&c);
+            st.barrier();
+            st.stats().bytes_sent
+        });
+        assert!(stats.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn global_control_global_target_cnot() {
+        let mut c = Circuit::new(6);
+        c.h(4).h(5).cnot(4, 5).h(0);
+        for ranks in [4usize, 8] {
+            let got = simulate_dist(&c, ranks, DistConfig::default(), 7);
+            assert_slices_close(&got, &reference(&c, 7), 1e-9);
+        }
+    }
+
+    #[test]
+    fn distributed_pauli_expectation_matches_single_process() {
+        use crate::expectation::{pauli_expectation, Pauli};
+        use crate::single::SingleState;
+        let c = random_circuit(6, 50, GatePool::Full, 71);
+        let mut single: SingleState<SoaStorage> = SingleState::zero_state(6);
+        single.run(&c);
+        let strings: Vec<Vec<(u32, Pauli)>> = vec![
+            vec![(0, Pauli::Z)],
+            vec![(5, Pauli::X)], // global qubit: communicates
+            vec![(2, Pauli::Y), (5, Pauli::Z)],
+            vec![(0, Pauli::X), (3, Pauli::Y), (5, Pauli::X)],
+        ];
+        let got = Universe::new(4).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::zero_state(comm, 6, DistConfig::default());
+            st.run(&c);
+            let values: Vec<f64> = strings.iter().map(|s| st.pauli_expectation(s)).collect();
+            // The state is restored afterwards: norm still 1 and a
+            // second evaluation agrees.
+            assert_close(st.norm_sqr(), 1.0, 1e-9);
+            assert_close(st.pauli_expectation(&strings[0]), values[0], 1e-12);
+            values
+        });
+        for rank_values in got {
+            for (value, string) in rank_values.iter().zip(&strings) {
+                assert_close(*value, pauli_expectation(&single, string), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_collapse_matches_single_process() {
+        // Build a GHZ-like state, measure the top (global) qubit as 1,
+        // compare against the single-process collapse.
+        let mut c = Circuit::new(6);
+        c.h(0);
+        for q in 1..6 {
+            c.cnot(0, q);
+        }
+        let collapsed = Universe::new(4).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::zero_state(comm, 6, DistConfig::default());
+            st.run(&c);
+            st.collapse(5, 1); // global qubit
+            assert_close(st.norm_sqr(), 1.0, 1e-12);
+            st.collapse(0, 1); // local qubit: already determined, p = 1
+            st.gather()
+        });
+        let got = collapsed.into_iter().flatten().next().unwrap();
+        // GHZ collapsed onto |111111⟩.
+        assert_close(got[0b111111].abs(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn distributed_measure_agrees_across_ranks() {
+        let mut c = Circuit::new(6);
+        c.h(5);
+        for u in [0.1f64, 0.9] {
+            let bits = Universe::new(4).run(|comm| {
+                let mut st: DistributedState<SoaStorage> =
+                    DistributedState::zero_state(comm, 6, DistConfig::default());
+                st.run(&c);
+                let bit = st.measure_qubit(5, u);
+                assert_close(st.norm_sqr(), 1.0, 1e-12);
+                assert_close(st.prob_one(5), bit as f64, 1e-12);
+                bit
+            });
+            // every rank observed the same bit, decided by u vs 0.5
+            assert!(bits.windows(2).all(|w| w[0] == w[1]));
+            assert_eq!(bits[0], u8::from(u < 0.5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn impossible_distributed_collapse_panics() {
+        Universe::new(2).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::zero_state(comm, 4, DistConfig::default());
+            st.collapse(3, 1); // |0000⟩ has zero probability of bit 1
+        });
+    }
+
+    #[test]
+    fn cache_blocking_reduces_measured_traffic() {
+        // The headline mechanism of the paper, measured on real exchanges:
+        // built-in QFT vs cache-blocked QFT on 8 ranks.
+        let n = 9;
+        let traffic = |c: &Circuit| {
+            let stats = Universe::new(8).run(|comm| {
+                let mut st: DistributedState<SoaStorage> =
+                    DistributedState::zero_state(comm, n, DistConfig::default());
+                st.run(c);
+                st.barrier();
+                st.stats().bytes_sent
+            });
+            stats.into_iter().sum::<u64>()
+        };
+        let built_in = traffic(&qft(n));
+        let blocked = traffic(&cache_blocked_qft(n, qse_circuit::qft::default_split(n, 6)));
+        assert_eq!(blocked * 2, built_in);
+    }
+}

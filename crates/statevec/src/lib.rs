@@ -1,0 +1,40 @@
+//! Local and distributed quantum statevector engine.
+//!
+//! This crate is the reproduction's QuEST: a Schrödinger-style simulator
+//! that keeps all `2^n` amplitudes in memory and evolves them gate by gate
+//! (§1 of the paper). It exists in two forms sharing the same kernels:
+//!
+//! * [`single::SingleState`] — one address space, used by the reference
+//!   experiments, the examples and the kernel benchmarks;
+//! * [`dist::DistributedState`] — the statevector split evenly over `2^r`
+//!   communicator ranks exactly as QuEST splits it over MPI processes:
+//!   the low `n − r` qubits are local, the top `r` select the rank, and
+//!   distributed gates exchange the whole local vector with a single pair
+//!   rank (§2.1).
+//!
+//! Storage is pluggable ([`storage`]): QuEST keeps separate real and
+//! imaginary arrays (structure-of-arrays) while the paper's future work
+//! proposes an interleaved complex type for better locality (§4) — both
+//! layouts are implemented and benchmarked.
+//!
+//! The communication layer supports the paper's three exchange regimes:
+//! blocking chunked sendrecv (QuEST's default), the non-blocking rewrite
+//! (§3.2), and the half-exchange SWAP (§4 future work) which moves only
+//! the amplitudes a SWAP actually displaces.
+//!
+//! [`reference::ReferenceState`] is an independent, deliberately naïve
+//! out-of-place simulator used as the correctness oracle for everything
+//! else.
+
+pub mod checkpoint;
+pub mod diagonal;
+pub mod dist;
+pub mod expectation;
+pub mod measure;
+pub mod reference;
+pub mod single;
+pub mod storage;
+
+pub use dist::{DistConfig, DistributedState};
+pub use single::SingleState;
+pub use storage::{AmpStorage, AosStorage, SoaStorage};

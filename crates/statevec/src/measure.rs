@@ -1,0 +1,180 @@
+//! Measurement: probabilities, sampling and collapse.
+//!
+//! The paper's §1 motivation for statevector simulation: "once a circuit
+//! is simulated, all amplitudes are available, which enables any required
+//! measurements to be made without the need to rerun the simulation".
+//! This module provides those measurements for the single-address-space
+//! engine; the distributed engine exposes its own reduced probabilities
+//! (`DistributedState::prob_one`).
+
+use crate::single::SingleState;
+use crate::storage::AmpStorage;
+use qse_math::Complex64;
+use rand::Rng;
+
+/// Draws one basis-state index from the state's |amplitude|² distribution.
+///
+/// Inverse-CDF walk over all amplitudes; numerically safe because any
+/// residual from rounding is assigned to the last nonzero amplitude.
+pub fn sample_index<S: AmpStorage, R: Rng>(state: &SingleState<S>, rng: &mut R) -> u64 {
+    let total = state.norm_sqr();
+    assert!(total > 0.0, "cannot sample from a zero state");
+    let mut u: f64 = rng.random_range(0.0..total);
+    let len = state.storage().len() as u64;
+    let mut last_nonzero = 0u64;
+    for i in 0..len {
+        let p = state.amplitude(i).norm_sqr();
+        if p > 0.0 {
+            last_nonzero = i;
+            if u < p {
+                return i;
+            }
+            u -= p;
+        }
+    }
+    last_nonzero
+}
+
+/// Draws `shots` samples and returns a histogram over basis indices.
+pub fn sample_counts<S: AmpStorage, R: Rng>(
+    state: &SingleState<S>,
+    rng: &mut R,
+    shots: usize,
+) -> std::collections::BTreeMap<u64, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..shots {
+        *counts.entry(sample_index(state, rng)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The outcome of a projective single-qubit measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureOutcome {
+    /// The classical bit observed.
+    pub bit: u8,
+    /// Its pre-measurement probability.
+    pub probability: f64,
+}
+
+/// Measures `qubit`, collapses the state, renormalises, and returns the
+/// observed bit with its probability.
+pub fn measure_qubit<S: AmpStorage, R: Rng>(
+    state: &mut SingleState<S>,
+    qubit: u32,
+    rng: &mut R,
+) -> MeasureOutcome {
+    let p1 = state.prob_one(qubit);
+    let bit = u8::from(rng.random_range(0.0..1.0) < p1);
+    collapse(state, qubit, bit);
+    MeasureOutcome {
+        bit,
+        probability: if bit == 1 { p1 } else { 1.0 - p1 },
+    }
+}
+
+/// Projects `qubit` onto `bit` and renormalises.
+///
+/// # Panics
+/// Panics when the requested outcome has zero probability.
+pub fn collapse<S: AmpStorage>(state: &mut SingleState<S>, qubit: u32, bit: u8) {
+    let p1 = state.prob_one(qubit);
+    let p = if bit == 1 { p1 } else { 1.0 - p1 };
+    assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
+    let scale = 1.0 / p.sqrt();
+    let mask = 1u64 << qubit;
+    let len = state.storage().len() as u64;
+    // Zero the mismatched branch, rescale the kept one.
+    for i in 0..len {
+        let has_bit = u8::from(i & mask != 0);
+        let v = if has_bit == bit {
+            state.amplitude(i).scale(scale)
+        } else {
+            Complex64::ZERO
+        };
+        state.set_amplitude(i, v);
+    }
+}
+
+impl<S: AmpStorage> SingleState<S> {
+    /// Writes one amplitude directly (measurement collapse and tests).
+    pub fn set_amplitude(&mut self, index: u64, v: Complex64) {
+        self.storage_mut().set(index as usize, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_circuit::Circuit;
+    use qse_math::approx::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell() -> SingleState {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        SingleState::simulate(&c)
+    }
+
+    #[test]
+    fn sampling_basis_state_is_deterministic() {
+        let s: SingleState = SingleState::basis_state(4, 11);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert_eq!(sample_index(&s, &mut rng), 11);
+        }
+    }
+
+    #[test]
+    fn bell_samples_only_correlated_outcomes() {
+        let s = bell();
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = sample_counts(&s, &mut rng, 2000);
+        assert!(counts.keys().all(|&k| k == 0b00 || k == 0b11));
+        let c00 = *counts.get(&0b00).unwrap_or(&0) as f64;
+        // Roughly balanced (5σ ≈ 112 at n = 2000, p = 1/2).
+        assert!((c00 - 1000.0).abs() < 150.0, "c00 = {c00}");
+    }
+
+    #[test]
+    fn measure_collapses_partner_qubit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let mut s = bell();
+            let out = measure_qubit(&mut s, 0, &mut rng);
+            assert_close(out.probability, 0.5, 1e-12);
+            // After measuring qubit 0, qubit 1 is perfectly correlated.
+            assert_close(s.prob_one(1), out.bit as f64, 1e-12);
+            assert_close(s.norm_sqr(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn collapse_renormalises() {
+        let mut s = bell();
+        collapse(&mut s, 0, 1);
+        assert_close(s.norm_sqr(), 1.0, 1e-12);
+        assert_close(s.prob_one(0), 1.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn collapse_on_impossible_outcome_panics() {
+        let mut s: SingleState = SingleState::basis_state(2, 0);
+        collapse(&mut s, 0, 1);
+    }
+
+    #[test]
+    fn uniform_superposition_samples_everything() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let s = SingleState::simulate(&c);
+        let mut rng = StdRng::seed_from_u64(42);
+        let counts = sample_counts(&s, &mut rng, 4000);
+        assert_eq!(counts.len(), 8);
+        for (_, &n) in counts.iter() {
+            assert!((n as f64 - 500.0).abs() < 150.0);
+        }
+    }
+}

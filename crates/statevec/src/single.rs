@@ -1,0 +1,233 @@
+//! Single-address-space statevector engine.
+//!
+//! The production kernels without distribution: used by the examples, the
+//! layout/fusion benchmarks, and the reference experiments on one "node".
+//! Generic over the amplitude [`storage`](crate::storage) layout.
+
+use crate::diagonal::{diagonal_phase, fused_phase};
+use crate::storage::{init_basis, AmpStorage, SoaStorage};
+use qse_circuit::transpile::fusion::{fused_schedule, ScheduleStep};
+use qse_circuit::{Circuit, Gate};
+use qse_math::Complex64;
+
+/// A full statevector in one address space over storage layout `S`.
+#[derive(Debug, Clone)]
+pub struct SingleState<S: AmpStorage = SoaStorage> {
+    n_qubits: u32,
+    amps: S,
+}
+
+impl<S: AmpStorage> SingleState<S> {
+    /// |00…0⟩ on `n_qubits`.
+    pub fn zero_state(n_qubits: u32) -> Self {
+        Self::basis_state(n_qubits, 0)
+    }
+
+    /// Computational basis state |index⟩.
+    pub fn basis_state(n_qubits: u32, index: u64) -> Self {
+        assert!(
+            n_qubits <= 30,
+            "single-process register capped at 30 qubits (16 GiB)"
+        );
+        let mut amps = S::zeros(1usize << n_qubits);
+        init_basis(&mut amps, 0, index);
+        SingleState { n_qubits, amps }
+    }
+
+    /// Register width.
+    pub fn n_qubits(&self) -> u32 {
+        self.n_qubits
+    }
+
+    /// Immutable access to the raw storage.
+    pub fn storage(&self) -> &S {
+        &self.amps
+    }
+
+    /// Mutable access to the raw storage (measurement collapse, tests).
+    pub fn storage_mut(&mut self) -> &mut S {
+        &mut self.amps
+    }
+
+    /// Reads one amplitude.
+    pub fn amplitude(&self, index: u64) -> Complex64 {
+        self.amps.get(index as usize)
+    }
+
+    /// All amplitudes as complex values (tests; O(2^n) allocation).
+    pub fn to_vec(&self) -> Vec<Complex64> {
+        self.amps.to_complex_vec()
+    }
+
+    /// Σ|amp|² — must stay 1 under unitary circuits.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.norm_sqr_sum()
+    }
+
+    /// Applies a single gate.
+    pub fn apply(&mut self, gate: &Gate) {
+        assert!(gate.max_qubit() < self.n_qubits, "gate out of range");
+        match *gate {
+            ref g if g.is_diagonal() => {
+                self.amps.apply_phase_fn(0, &|i| diagonal_phase(g, i));
+            }
+            Gate::Swap(a, b) => self.amps.swap_local(a, b),
+            Gate::Unitary2 { a, b, ref matrix } => self.amps.apply_orbit4(a, b, matrix),
+            ref g => {
+                let m = g.matrix1().expect("single-target gate");
+                // CNot / CUnitary carry a control; everything else is plain.
+                self.amps.apply_pairs(g.target(), &m, g.control());
+            }
+        }
+    }
+
+    /// Runs a circuit gate by gate (no fusion).
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.n_qubits(), self.n_qubits, "width mismatch");
+        for g in circuit.gates() {
+            self.apply(g);
+        }
+    }
+
+    /// Runs a circuit with maximal diagonal runs (≥ `min_fuse` gates)
+    /// applied as single fused sweeps — QuEST's efficient controlled-phase
+    /// path. Semantically identical to [`Self::run`].
+    pub fn run_fused(&mut self, circuit: &Circuit, min_fuse: usize) {
+        assert_eq!(circuit.n_qubits(), self.n_qubits, "width mismatch");
+        for step in fused_schedule(circuit, min_fuse) {
+            match step {
+                ScheduleStep::Single(i) => self.apply(&circuit.gates()[i]),
+                ScheduleStep::Fused(run) => {
+                    let gates = &circuit.gates()[run.start..run.end];
+                    self.amps.apply_phase_fn(0, &|i| fused_phase(gates, i));
+                }
+            }
+        }
+    }
+
+    /// Probability that measuring `qubit` yields 1.
+    pub fn prob_one(&self, qubit: u32) -> f64 {
+        assert!(qubit < self.n_qubits);
+        let mut p = 0.0;
+        let mask = 1u64 << qubit;
+        for i in 0..self.amps.len() as u64 {
+            if i & mask != 0 {
+                p += self.amps.get(i as usize).norm_sqr();
+            }
+        }
+        p
+    }
+}
+
+impl SingleState<SoaStorage> {
+    /// Convenience: simulate from |0…0⟩ with the default (QuEST) layout.
+    pub fn simulate(circuit: &Circuit) -> Self {
+        let mut s = SingleState::zero_state(circuit.n_qubits());
+        s.run(circuit);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceState;
+    use crate::storage::AosStorage;
+    use qse_circuit::qft::qft;
+    use qse_circuit::random::{random_circuit, GatePool};
+    use qse_math::approx::{assert_close, assert_slices_close};
+
+    fn assert_matches_reference<S: AmpStorage>(n: u32, gates: usize, pool: GatePool, seed: u64) {
+        let c = random_circuit(n, gates, pool, seed);
+        let mut got: SingleState<S> = SingleState::zero_state(n);
+        got.run(&c);
+        let want = ReferenceState::simulate(&c);
+        assert_slices_close(&got.to_vec(), want.amplitudes(), 1e-9);
+    }
+
+    #[test]
+    fn soa_matches_reference_on_random_circuits() {
+        for seed in 0..6 {
+            assert_matches_reference::<SoaStorage>(6, 100, GatePool::Full, seed);
+        }
+    }
+
+    #[test]
+    fn aos_matches_reference_on_random_circuits() {
+        for seed in 0..6 {
+            assert_matches_reference::<AosStorage>(6, 100, GatePool::Full, seed);
+        }
+    }
+
+    #[test]
+    fn qft_like_circuits_match_reference() {
+        for seed in 0..4 {
+            assert_matches_reference::<SoaStorage>(7, 120, GatePool::QftLike, seed);
+        }
+    }
+
+    #[test]
+    fn qft_matches_reference() {
+        let c = qft(8);
+        let mut got: SingleState = SingleState::basis_state(8, 137);
+        got.run(&c);
+        let mut want = ReferenceState::basis_state(8, 137);
+        want.run(&c);
+        assert_slices_close(&got.to_vec(), want.amplitudes(), 1e-9);
+    }
+
+    #[test]
+    fn fused_run_matches_plain_run() {
+        for seed in 0..4 {
+            let c = random_circuit(6, 150, GatePool::Full, seed + 100);
+            let mut plain: SingleState = SingleState::zero_state(6);
+            plain.run(&c);
+            for min_fuse in [1, 2, 4] {
+                let mut fused: SingleState = SingleState::zero_state(6);
+                fused.run_fused(&c, min_fuse);
+                assert_slices_close(&fused.to_vec(), &plain.to_vec(), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let c = random_circuit(8, 200, GatePool::Full, 77);
+        let mut s: SingleState = SingleState::zero_state(8);
+        s.run(&c);
+        assert_close(s.norm_sqr(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn prob_one_on_plus_state() {
+        let mut s: SingleState = SingleState::zero_state(3);
+        s.apply(&Gate::H(1));
+        assert_close(s.prob_one(1), 0.5, 1e-12);
+        assert_close(s.prob_one(0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn inverse_restores_basis_state() {
+        let c = random_circuit(7, 80, GatePool::Full, 5);
+        let mut s: SingleState = SingleState::basis_state(7, 99);
+        s.run(&c);
+        s.run(&c.inverse());
+        assert_close(s.amplitude(99).re, 1.0, 1e-9);
+        assert_close(s.norm_sqr(), 1.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_rejected() {
+        let c = Circuit::new(3);
+        let mut s: SingleState = SingleState::zero_state(4);
+        s.run(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_gate_rejected() {
+        let mut s: SingleState = SingleState::zero_state(2);
+        s.apply(&Gate::H(2));
+    }
+}

@@ -1,0 +1,260 @@
+//! Array-of-structures layout: interleaved complex amplitudes.
+//!
+//! The paper's §4 future work: "reimplement QuEST's core data-structures
+//! using a complex data type rather than separate real and imaginary
+//! arrays, in order to improve data locality". Each amplitude pair update
+//! touches two 16-byte values instead of four 8-byte values in two far-
+//! apart streams.
+
+use super::{AmpStorage, PAR_THRESHOLD};
+use qse_math::bits;
+use qse_math::{Complex64, Matrix2};
+use rayon::prelude::*;
+
+/// Interleaved `Complex64` amplitude array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AosStorage {
+    amps: Vec<Complex64>,
+}
+
+const HALF_CHUNK: usize = 4096;
+
+#[inline(always)]
+fn apply_block(chunk: &mut [Complex64], stride: usize, base: usize, m: &Matrix2, ctrl_mask: u64) {
+    let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+    let (lo, hi) = chunk.split_at_mut(stride);
+    for k in 0..stride {
+        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+            continue;
+        }
+        let a0 = lo[k];
+        let a1 = hi[k];
+        lo[k] = m00 * a0 + m01 * a1;
+        hi[k] = m10 * a0 + m11 * a1;
+    }
+}
+
+impl AmpStorage for AosStorage {
+    fn zeros(len: usize) -> Self {
+        assert!(bits::is_pow2(len as u64), "length must be a power of two");
+        AosStorage {
+            amps: vec![Complex64::ZERO; len],
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> Complex64 {
+        self.amps[i]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: Complex64) {
+        self.amps[i] = v;
+    }
+
+    fn fill_zero(&mut self) {
+        self.amps.fill(Complex64::ZERO);
+    }
+
+    fn norm_sqr_sum(&self) -> f64 {
+        if self.len() >= PAR_THRESHOLD {
+            self.amps.par_iter().map(|a| a.norm_sqr()).sum()
+        } else {
+            self.amps.iter().map(|a| a.norm_sqr()).sum()
+        }
+    }
+
+    fn apply_pairs(&mut self, q: u32, m: &Matrix2, control: Option<u32>) {
+        let len = self.len();
+        let stride = 1usize << q;
+        let block = stride << 1;
+        assert!(block <= len, "qubit {q} out of range for {len} amplitudes");
+        if let Some(c) = control {
+            debug_assert_ne!(c, q, "control equals target");
+        }
+        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        if len >= PAR_THRESHOLD && block < len {
+            let m = *m;
+            // Batch several blocks per Rayon task (see SoA kernel).
+            let blocks_per_task = (HALF_CHUNK / block).max(1);
+            let task = block * blocks_per_task;
+            self.amps.par_chunks_mut(task).enumerate().for_each(|(ti, tc)| {
+                let base = ti * task;
+                for (bi, chunk) in tc.chunks_mut(block).enumerate() {
+                    apply_block(chunk, stride, base + bi * block, &m, ctrl_mask);
+                }
+            });
+        } else if len >= PAR_THRESHOLD {
+            let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+            let (lo, hi) = self.amps.split_at_mut(stride);
+            lo.par_chunks_mut(HALF_CHUNK)
+                .zip(hi.par_chunks_mut(HALF_CHUNK))
+                .enumerate()
+                .for_each(|(ci, (lc, hc))| {
+                    let base = ci * HALF_CHUNK;
+                    for k in 0..lc.len() {
+                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                            continue;
+                        }
+                        let a0 = lc[k];
+                        let a1 = hc[k];
+                        lc[k] = m00 * a0 + m01 * a1;
+                        hc[k] = m10 * a0 + m11 * a1;
+                    }
+                });
+        } else {
+            for bi in 0..len / block {
+                let lo = bi * block;
+                apply_block(&mut self.amps[lo..lo + block], stride, lo, m, ctrl_mask);
+            }
+        }
+    }
+
+    fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync)) {
+        if self.len() >= PAR_THRESHOLD {
+            self.amps
+                .par_chunks_mut(HALF_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let base = ci * HALF_CHUNK;
+                    for (k, a) in chunk.iter_mut().enumerate() {
+                        *a *= phase(offset | (base + k) as u64);
+                    }
+                });
+        } else {
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                *a *= phase(offset | i as u64);
+            }
+        }
+    }
+
+    fn swap_local(&mut self, a: u32, b: u32) {
+        assert_ne!(a, b, "swap qubits must differ");
+        let len = self.len() as u64;
+        for k in 0..len / 4 {
+            let base = bits::insert_two_zero_bits(k, a, b);
+            let i = (base | (1 << a)) as usize;
+            let j = (base | (1 << b)) as usize;
+            self.amps.swap(i, j);
+        }
+    }
+
+    fn combine_rows(
+        &mut self,
+        c_mine: Complex64,
+        c_theirs: Complex64,
+        theirs: &[f64],
+        control: Option<u32>,
+    ) {
+        assert_eq!(theirs.len(), self.len() * 2, "pair buffer size mismatch");
+        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        if self.len() >= PAR_THRESHOLD {
+            self.amps
+                .par_chunks_mut(HALF_CHUNK)
+                .zip(theirs.par_chunks(HALF_CHUNK * 2))
+                .enumerate()
+                .for_each(|(ci, (chunk, tc))| {
+                    let base = ci * HALF_CHUNK;
+                    for (k, a) in chunk.iter_mut().enumerate() {
+                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                            continue;
+                        }
+                        let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
+                        *a = c_mine * *a + c_theirs * other;
+                    }
+                });
+        } else {
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                if ctrl_mask != 0 && i as u64 & ctrl_mask == 0 {
+                    continue;
+                }
+                let other = Complex64::new(theirs[2 * i], theirs[2 * i + 1]);
+                *a = c_mine * *a + c_theirs * other;
+            }
+        }
+    }
+
+    fn to_f64_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len() * 2);
+        for a in &self.amps {
+            out.push(a.re);
+            out.push(a.im);
+        }
+        out
+    }
+
+    fn copy_from_f64(&mut self, data: &[f64]) {
+        assert_eq!(data.len(), self.len() * 2, "buffer size mismatch");
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = Complex64::new(data[2 * i], data[2 * i + 1]);
+        }
+    }
+
+    fn extract_half_bit(&self, q: u32, v: u64) -> Vec<f64> {
+        let half = self.len() / 2;
+        let mut out = Vec::with_capacity(half * 2);
+        for k in 0..half as u64 {
+            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            out.push(self.amps[i].re);
+            out.push(self.amps[i].im);
+        }
+        out
+    }
+
+    fn write_half_bit(&mut self, q: u32, v: u64, data: &[f64]) {
+        let half = self.len() / 2;
+        assert_eq!(data.len(), half * 2, "half buffer size mismatch");
+        for k in 0..half as u64 {
+            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            self.amps[i] = Complex64::new(data[2 * k as usize], data[2 * k as usize + 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qse_math::approx::assert_complex_close;
+
+    #[test]
+    fn conformance_suite() {
+        crate::storage::conformance::run_all::<AosStorage>();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_length_rejected() {
+        AosStorage::zeros(12);
+    }
+
+    #[test]
+    fn layouts_agree_on_random_sweeps() {
+        // Same gate sequence on both layouts yields identical amplitudes.
+        use crate::storage::SoaStorage;
+        let n = 512;
+        let mut soa = SoaStorage::zeros(n);
+        let mut aos = AosStorage::zeros(n);
+        soa.set(0, Complex64::ONE);
+        aos.set(0, Complex64::ONE);
+        let h = {
+            let v = Complex64::real(std::f64::consts::FRAC_1_SQRT_2);
+            Matrix2::new(v, v, v, -v)
+        };
+        for q in 0..9u32 {
+            soa.apply_pairs(q, &h, None);
+            aos.apply_pairs(q, &h, None);
+        }
+        soa.swap_local(0, 8);
+        aos.swap_local(0, 8);
+        soa.apply_phase_fn(0, &|i| Complex64::cis(i as f64 * 0.01));
+        aos.apply_phase_fn(0, &|i| Complex64::cis(i as f64 * 0.01));
+        for i in 0..n {
+            assert_complex_close(soa.get(i), aos.get(i), 1e-12);
+        }
+    }
+}

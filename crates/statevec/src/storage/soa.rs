@@ -1,0 +1,336 @@
+//! Structure-of-arrays layout: separate real and imaginary arrays.
+//!
+//! This is QuEST's native layout (`qreal *stateVecReal, *stateVecImag`).
+//! Sweeps read two independent streams; the layout benchmark compares it
+//! against the interleaved [`super::AosStorage`].
+
+use super::{AmpStorage, PAR_THRESHOLD};
+use qse_math::bits;
+use qse_math::{Complex64, Matrix2};
+use rayon::prelude::*;
+
+/// Separate `re[]` / `im[]` amplitude arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaStorage {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+/// Chunk size for parallel sweeps over a single top-qubit block.
+const HALF_CHUNK: usize = 4096;
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pair_update(
+    re0: &mut f64,
+    im0: &mut f64,
+    re1: &mut f64,
+    im1: &mut f64,
+    m00: Complex64,
+    m01: Complex64,
+    m10: Complex64,
+    m11: Complex64,
+) {
+    let a0 = Complex64::new(*re0, *im0);
+    let a1 = Complex64::new(*re1, *im1);
+    let b0 = m00 * a0 + m01 * a1;
+    let b1 = m10 * a0 + m11 * a1;
+    *re0 = b0.re;
+    *im0 = b0.im;
+    *re1 = b1.re;
+    *im1 = b1.im;
+}
+
+/// Applies the matrix to all pairs inside one `2·stride` block whose first
+/// element has local index `base`.
+#[inline(always)]
+fn apply_block(
+    rc: &mut [f64],
+    ic: &mut [f64],
+    stride: usize,
+    base: usize,
+    m: &Matrix2,
+    ctrl_mask: u64,
+) {
+    let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+    let (rlo, rhi) = rc.split_at_mut(stride);
+    let (ilo, ihi) = ic.split_at_mut(stride);
+    for k in 0..stride {
+        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+            continue;
+        }
+        pair_update(
+            &mut rlo[k], &mut ilo[k], &mut rhi[k], &mut ihi[k], m00, m01, m10, m11,
+        );
+    }
+}
+
+impl AmpStorage for SoaStorage {
+    fn zeros(len: usize) -> Self {
+        assert!(bits::is_pow2(len as u64), "length must be a power of two");
+        SoaStorage {
+            re: vec![0.0; len],
+            im: vec![0.0; len],
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> Complex64 {
+        Complex64::new(self.re[i], self.im[i])
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: Complex64) {
+        self.re[i] = v.re;
+        self.im[i] = v.im;
+    }
+
+    fn fill_zero(&mut self) {
+        self.re.fill(0.0);
+        self.im.fill(0.0);
+    }
+
+    fn norm_sqr_sum(&self) -> f64 {
+        if self.len() >= PAR_THRESHOLD {
+            self.re
+                .par_iter()
+                .zip(self.im.par_iter())
+                .map(|(r, i)| r * r + i * i)
+                .sum()
+        } else {
+            self.re
+                .iter()
+                .zip(self.im.iter())
+                .map(|(r, i)| r * r + i * i)
+                .sum()
+        }
+    }
+
+    fn apply_pairs(&mut self, q: u32, m: &Matrix2, control: Option<u32>) {
+        let len = self.len();
+        let stride = 1usize << q;
+        let block = stride << 1;
+        assert!(block <= len, "qubit {q} out of range for {len} amplitudes");
+        if let Some(c) = control {
+            debug_assert_ne!(c, q, "control equals target");
+        }
+        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        if len >= PAR_THRESHOLD && block < len {
+            let m = *m;
+            // Batch several blocks per Rayon task: one task per 2·stride
+            // block would swamp the pool with tiny work items at low
+            // qubit indices.
+            let blocks_per_task = (HALF_CHUNK / block).max(1);
+            let task = block * blocks_per_task;
+            self.re
+                .par_chunks_mut(task)
+                .zip(self.im.par_chunks_mut(task))
+                .enumerate()
+                .for_each(|(ti, (rc, ic))| {
+                    let base = ti * task;
+                    for (bi, (rb, ib)) in rc
+                        .chunks_mut(block)
+                        .zip(ic.chunks_mut(block))
+                        .enumerate()
+                    {
+                        apply_block(rb, ib, stride, base + bi * block, &m, ctrl_mask);
+                    }
+                });
+        } else if len >= PAR_THRESHOLD {
+            // Single block: q is the top local qubit. Parallelise over the
+            // zipped lower/upper halves instead.
+            let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+            let (rlo, rhi) = self.re.split_at_mut(stride);
+            let (ilo, ihi) = self.im.split_at_mut(stride);
+            rlo.par_chunks_mut(HALF_CHUNK)
+                .zip(rhi.par_chunks_mut(HALF_CHUNK))
+                .zip(
+                    ilo.par_chunks_mut(HALF_CHUNK)
+                        .zip(ihi.par_chunks_mut(HALF_CHUNK)),
+                )
+                .enumerate()
+                .for_each(|(ci, ((rl, rh), (il, ih)))| {
+                    let base = ci * HALF_CHUNK;
+                    for k in 0..rl.len() {
+                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                            continue;
+                        }
+                        pair_update(
+                            &mut rl[k], &mut il[k], &mut rh[k], &mut ih[k], m00, m01, m10, m11,
+                        );
+                    }
+                });
+        } else {
+            for bi in 0..len / block {
+                let lo = bi * block;
+                apply_block(
+                    &mut self.re[lo..lo + block],
+                    &mut self.im[lo..lo + block],
+                    stride,
+                    lo,
+                    m,
+                    ctrl_mask,
+                );
+            }
+        }
+    }
+
+    fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync)) {
+        let len = self.len();
+        if len >= PAR_THRESHOLD {
+            self.re
+                .par_chunks_mut(HALF_CHUNK)
+                .zip(self.im.par_chunks_mut(HALF_CHUNK))
+                .enumerate()
+                .for_each(|(ci, (rc, ic))| {
+                    let base = ci * HALF_CHUNK;
+                    for k in 0..rc.len() {
+                        let p = phase(offset | (base + k) as u64);
+                        let v = Complex64::new(rc[k], ic[k]) * p;
+                        rc[k] = v.re;
+                        ic[k] = v.im;
+                    }
+                });
+        } else {
+            for i in 0..len {
+                let p = phase(offset | i as u64);
+                let v = Complex64::new(self.re[i], self.im[i]) * p;
+                self.re[i] = v.re;
+                self.im[i] = v.im;
+            }
+        }
+    }
+
+    fn swap_local(&mut self, a: u32, b: u32) {
+        assert_ne!(a, b, "swap qubits must differ");
+        let len = self.len() as u64;
+        // Enumerate indices with bit a = 1, bit b = 0 and swap with their
+        // bit-swapped partner; each orbit is touched exactly once.
+        for k in 0..len / 4 {
+            let base = bits::insert_two_zero_bits(k, a, b);
+            let i = (base | (1 << a)) as usize;
+            let j = (base | (1 << b)) as usize;
+            self.re.swap(i, j);
+            self.im.swap(i, j);
+        }
+    }
+
+    fn combine_rows(
+        &mut self,
+        c_mine: Complex64,
+        c_theirs: Complex64,
+        theirs: &[f64],
+        control: Option<u32>,
+    ) {
+        assert_eq!(theirs.len(), self.len() * 2, "pair buffer size mismatch");
+        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        let len = self.len();
+        if len >= PAR_THRESHOLD {
+            self.re
+                .par_chunks_mut(HALF_CHUNK)
+                .zip(self.im.par_chunks_mut(HALF_CHUNK))
+                .zip(theirs.par_chunks(HALF_CHUNK * 2))
+                .enumerate()
+                .for_each(|(ci, ((rc, ic), tc))| {
+                    let base = ci * HALF_CHUNK;
+                    for k in 0..rc.len() {
+                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                            continue;
+                        }
+                        let mine = Complex64::new(rc[k], ic[k]);
+                        let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
+                        let v = c_mine * mine + c_theirs * other;
+                        rc[k] = v.re;
+                        ic[k] = v.im;
+                    }
+                });
+        } else {
+            for i in 0..len {
+                if ctrl_mask != 0 && i as u64 & ctrl_mask == 0 {
+                    continue;
+                }
+                let mine = Complex64::new(self.re[i], self.im[i]);
+                let other = Complex64::new(theirs[2 * i], theirs[2 * i + 1]);
+                let v = c_mine * mine + c_theirs * other;
+                self.re[i] = v.re;
+                self.im[i] = v.im;
+            }
+        }
+    }
+
+    fn to_f64_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len() * 2);
+        for i in 0..self.len() {
+            out.push(self.re[i]);
+            out.push(self.im[i]);
+        }
+        out
+    }
+
+    fn copy_from_f64(&mut self, data: &[f64]) {
+        assert_eq!(data.len(), self.len() * 2, "buffer size mismatch");
+        for i in 0..self.len() {
+            self.re[i] = data[2 * i];
+            self.im[i] = data[2 * i + 1];
+        }
+    }
+
+    fn extract_half_bit(&self, q: u32, v: u64) -> Vec<f64> {
+        let half = self.len() / 2;
+        let mut out = Vec::with_capacity(half * 2);
+        for k in 0..half as u64 {
+            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            out.push(self.re[i]);
+            out.push(self.im[i]);
+        }
+        out
+    }
+
+    fn write_half_bit(&mut self, q: u32, v: u64, data: &[f64]) {
+        let half = self.len() / 2;
+        assert_eq!(data.len(), half * 2, "half buffer size mismatch");
+        for k in 0..half as u64 {
+            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            self.re[i] = data[2 * k as usize];
+            self.im[i] = data[2 * k as usize + 1];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_suite() {
+        crate::storage::conformance::run_all::<SoaStorage>();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_length_rejected() {
+        SoaStorage::zeros(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qubit_out_of_range_rejected() {
+        SoaStorage::zeros(8).apply_pairs(3, &Matrix2::identity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn combine_rows_size_checked() {
+        SoaStorage::zeros(8).combine_rows(
+            Complex64::ONE,
+            Complex64::ZERO,
+            &[0.0; 4],
+            None,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Energy study — reproduce the paper's decision problem for one job.
+//!
+//! You have a 40-qubit QFT to run on ARCHER2. Which node type, which
+//! frequency, which circuit variant? This example walks the whole
+//! option grid through the calibrated model and prints runtime, energy,
+//! and CU cost for each, ending with the paper's conclusions.
+//!
+//! ```sh
+//! cargo run --release --example energy_study
+//! ```
+
+use qse::core::experiment::TextTable;
+use qse::core::scaling::nodes_for;
+use qse::prelude::*;
+use qse::machine::energy::{format_energy, joules_to_kwh};
+
+fn main() {
+    let n = 40u32;
+    let machine = archer2();
+    let mut table = TextTable::new(vec![
+        "Setup", "Nodes", "Runtime", "Energy", "kWh", "CU",
+    ]);
+
+    let mut best: Option<(String, f64)> = None;
+    for kind in [NodeKind::Standard, NodeKind::HighMem] {
+        let Some(nodes) = nodes_for(&machine, kind, n) else {
+            continue;
+        };
+        let local = n - nodes.trailing_zeros();
+        for freq in CpuFrequency::all() {
+            for (variant, circuit, non_blocking) in [
+                ("built-in", qft(n), false),
+                (
+                    "fast",
+                    cache_blocked_qft(n, default_split(n, local)),
+                    true,
+                ),
+            ] {
+                let mut cfg = SimConfig::default_for(nodes);
+                cfg.node_kind = kind;
+                cfg.frequency = freq;
+                cfg.non_blocking = non_blocking;
+                let est = ModelExecutor::new(&machine).run(&circuit, &cfg);
+                let label = format!("{}-{:?}-{variant}", kind.label(), freq);
+                table.row(vec![
+                    label.clone(),
+                    nodes.to_string(),
+                    format!("{:.0} s", est.runtime_s),
+                    format_energy(est.total_energy_j()),
+                    format!("{:.1}", joules_to_kwh(est.total_energy_j())),
+                    format!("{:.1}", est.cu),
+                ]);
+                let e = est.total_energy_j();
+                if best.as_ref().is_none_or(|(_, b)| e < *b) {
+                    best = Some((label, e));
+                }
+            }
+        }
+    }
+
+    println!("Energy study — 40-qubit QFT on modelled ARCHER2\n");
+    println!("{}", table.render());
+    let (label, energy) = best.expect("at least one setup fits");
+    println!("lowest-energy setup: {label} at {}", format_energy(energy));
+    println!();
+    println!("Paper conclusions this grid reproduces (§4):");
+    println!(" - 2.00 GHz default is right: 2.25 GHz buys ~5 % time for ~25 % energy;");
+    println!(" - 1.50 GHz only slows things down at flat energy;");
+    println!(" - high-memory nodes cost fewer CUs but run slower;");
+    println!(" - cache-blocking + non-blocking comm dominates everything else.");
+}

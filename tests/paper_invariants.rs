@@ -1,0 +1,180 @@
+//! The paper's quantitative claims, as assertions against the calibrated
+//! model — the table/figure regeneration in test form. Tolerances are
+//! generous (shape, not absolute numbers) except where the value was a
+//! direct calibration anchor.
+
+use qse::core::scaling::{nodes_for, nodes_for_half_buffers};
+use qse::prelude::*;
+use qse::statevec::reference::ReferenceState;
+
+fn model(circuit: &Circuit, cfg: &SimConfig) -> qse::machine::perf::RunEstimate {
+    let machine = archer2();
+    ModelExecutor::new(&machine).run(circuit, cfg)
+}
+
+/// Table 1 anchors (38 qubits, 64 nodes, per-gate).
+#[test]
+fn table1_per_gate_anchors() {
+    let per_gate = |q: u32, fast: bool| {
+        let c = qse::circuit::benchmarks::hadamard_benchmark(38, q, 50);
+        let cfg = if fast {
+            SimConfig::fast_for(64)
+        } else {
+            SimConfig::default_for(64)
+        };
+        let est = model(&c, &cfg);
+        (est.runtime_s / 50.0, est.total_energy_j() / 50.0)
+    };
+    let (t29, e29) = per_gate(29, false);
+    assert!((t29 - 0.5).abs() < 0.05, "q29 {t29}");
+    assert!((e29 - 15.3e3).abs() < 2e3, "q29 energy {e29}");
+    let (t32b, e32b) = per_gate(32, false);
+    let (t32n, e32n) = per_gate(32, true);
+    assert!((t32b - 9.63).abs() < 0.6, "q32 blocking {t32b}");
+    assert!((t32n - 8.82).abs() < 0.6, "q32 non-blocking {t32n}");
+    // Twenty-fold jump from local to distributed (paper: "twenty-fold
+    // increase in runtime").
+    assert!(t32b / t29 > 15.0 && t32b / t29 < 25.0);
+    assert!(e32b > 10.0 * e29);
+    assert!(e32n < e32b);
+}
+
+/// Figure 2's scaling shape: "QFT runtimes scale linearly, due to the
+/// number of distributed gates rising linearly" (§3.1) — each extra
+/// qubit doubles the node count (keeping per-node work flat) and adds
+/// two distributed gates, so the runtime *increment* is roughly constant.
+#[test]
+fn fig2_runtime_scales_linearly() {
+    let machine = archer2();
+    let mut runtimes = Vec::new();
+    for n in 36..=42u32 {
+        let nodes = nodes_for(&machine, NodeKind::Standard, n).unwrap();
+        runtimes.push(model(&qft(n), &SimConfig::default_for(nodes)).runtime_s);
+    }
+    let increments: Vec<f64> = runtimes.windows(2).map(|w| w[1] - w[0]).collect();
+    let mean = increments.iter().sum::<f64>() / increments.len() as f64;
+    assert!(mean > 0.0);
+    for (i, d) in increments.iter().enumerate() {
+        assert!(
+            (d - mean).abs() < 0.3 * mean,
+            "increment {i} = {d}, mean {mean}: not linear"
+        );
+    }
+}
+
+/// Figure 3's bands: standard-high vs the default.
+#[test]
+fn fig3_standard_high_band() {
+    let machine = archer2();
+    for n in [36u32, 40, 44] {
+        let nodes = nodes_for(&machine, NodeKind::Standard, n).unwrap();
+        let base = model(&qft(n), &SimConfig::default_for(nodes));
+        let mut cfg = SimConfig::default_for(nodes);
+        cfg.frequency = CpuFrequency::High;
+        let high = model(&qft(n), &cfg);
+        let speedup = 1.0 - high.runtime_s / base.runtime_s;
+        let extra_energy = high.total_energy_j() / base.total_energy_j() - 1.0;
+        // Paper: "consistently 5 % to 10 % faster … around 25 % more energy".
+        assert!((0.02..0.12).contains(&speedup), "{n}: speedup {speedup}");
+        assert!((0.10..0.35).contains(&extra_energy), "{n}: energy {extra_energy}");
+    }
+}
+
+/// Figure 3 / §3.1: high-memory setups are slower but under 2×, and cost
+/// fewer CUs.
+#[test]
+fn fig3_highmem_band() {
+    let machine = archer2();
+    for n in [36u32, 38, 40] {
+        let std_nodes = nodes_for(&machine, NodeKind::Standard, n).unwrap();
+        let hm_nodes = nodes_for(&machine, NodeKind::HighMem, n).unwrap();
+        assert_eq!(hm_nodes * 2, std_nodes);
+        let std = model(&qft(n), &SimConfig::default_for(std_nodes));
+        let mut cfg = SimConfig::default_for(hm_nodes);
+        cfg.node_kind = NodeKind::HighMem;
+        let hm = model(&qft(n), &cfg);
+        assert!(hm.runtime_s > std.runtime_s);
+        assert!(hm.runtime_s < 2.0 * std.runtime_s);
+        assert!(hm.cu < std.cu);
+    }
+}
+
+/// Figure 5's three bars, in order.
+#[test]
+fn fig5_profile_ordering() {
+    let worst = model(
+        &qse::circuit::benchmarks::hadamard_benchmark(38, 37, 50),
+        &SimConfig::default_for(64),
+    );
+    let built_in = model(&qft(38), &SimConfig::default_for(64));
+    let blocked = model(&cache_blocked_qft(38, 30), &SimConfig::fast_for(64));
+    assert!(worst.comm_fraction() > 0.85);
+    assert!((0.35..0.55).contains(&built_in.comm_fraction()));
+    assert!((0.18..0.38).contains(&blocked.comm_fraction()));
+    assert!(blocked.comm_fraction() < built_in.comm_fraction());
+    // Local remainder splits roughly 2:1 memory:compute.
+    let ratio = built_in.memory_fraction() / built_in.compute_fraction();
+    assert!((1.4..2.7).contains(&ratio), "mem:comp {ratio}");
+}
+
+/// Table 2's headline: the fast variant wins by roughly a third in time
+/// and energy at 43–44 qubits.
+#[test]
+fn table2_fast_vs_built_in() {
+    let machine = archer2();
+    for n in [43u32, 44] {
+        let nodes = nodes_for(&machine, NodeKind::Standard, n).unwrap();
+        let local = n - nodes.trailing_zeros();
+        let built_in = model(&qft(n), &SimConfig::default_for(nodes));
+        let fast = model(
+            &cache_blocked_qft(n, default_split(n, local)),
+            &SimConfig::fast_for(nodes),
+        );
+        let dt = 1.0 - fast.runtime_s / built_in.runtime_s;
+        let de = 1.0 - fast.total_energy_j() / built_in.total_energy_j();
+        // Paper: 35 % / 40 % faster and 30 % / 35 % less energy.
+        assert!((0.25..0.50).contains(&dt), "{n}: Δtime {dt}");
+        assert!((0.20..0.45).contains(&de), "{n}: Δenergy {de}");
+    }
+}
+
+/// §4 future work: half-exchange SWAPs halve the fast variant's
+/// remaining communication and unlock 45 qubits.
+#[test]
+fn future_work_half_exchange_and_45_qubits() {
+    let machine = archer2();
+    assert_eq!(nodes_for(&machine, NodeKind::Standard, 45), None);
+    assert_eq!(
+        nodes_for_half_buffers(&machine, NodeKind::Standard, 45),
+        Some(4096)
+    );
+    let c = cache_blocked_qft(44, default_split(44, 32));
+    let full = model(&c, &SimConfig::fast_for(4096));
+    let mut cfg = SimConfig::fast_for(4096);
+    cfg.half_exchange_swaps = true;
+    let half = model(&c, &cfg);
+    assert_eq!(half.breakdown.comm_bytes * 2, full.breakdown.comm_bytes);
+    assert!(half.runtime_s < full.runtime_s);
+}
+
+/// The QFT semantics the whole study rests on, verified exactly: the fig
+/// 1a circuit computes the DFT (big-endian convention) and fig 1b is the
+/// same operator.
+#[test]
+fn qft_semantics_exact() {
+    let n = 6u32;
+    let dim = 1u64 << n;
+    for x in [0u64, 3, 31, dim - 1] {
+        let mut s = ReferenceState::basis_state(n, x);
+        s.run(&qft(n));
+        for k in 0..dim {
+            let phase = 2.0 * std::f64::consts::PI
+                * (qse::math::bits::reverse_bits(x, n) as f64)
+                * (qse::math::bits::reverse_bits(k, n) as f64)
+                / dim as f64;
+            let expect = Complex64::cis(phase).scale(1.0 / (dim as f64).sqrt());
+            let got = s.amplitudes()[k as usize];
+            assert!((got - expect).abs() < 1e-9, "x={x} k={k}");
+        }
+    }
+}
