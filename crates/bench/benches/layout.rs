@@ -1,50 +1,48 @@
-//! Criterion: SoA (QuEST's separate real/imaginary arrays) vs AoS
-//! (interleaved complex) storage — the paper's §4 future-work question
-//! about data locality, answered empirically.
+//! SoA (QuEST's separate real/imaginary arrays) vs AoS (interleaved
+//! complex) storage — the paper's §4 future-work question about data
+//! locality, answered empirically.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use qse_circuit::qft::qft;
 use qse_circuit::Gate;
 use qse_statevec::storage::{AosStorage, SoaStorage};
 use qse_statevec::SingleState;
+use qse_util::bench::BenchGroup;
 use std::hint::black_box;
 
 const N_QUBITS: u32 = 20;
 
-fn bench_sweep_by_layout(c: &mut Criterion) {
-    let mut group = c.benchmark_group("layout_hadamard_sweep");
-    group.throughput(Throughput::Bytes(32u64 << N_QUBITS));
-    group.bench_function("soa", |b| {
-        let mut s: SingleState<SoaStorage> = SingleState::zero_state(N_QUBITS);
-        b.iter(|| s.apply(black_box(&Gate::H(10))));
+fn bench_sweep_by_layout() {
+    let mut group = BenchGroup::new("layout_hadamard_sweep");
+    group.throughput_bytes(32u64 << N_QUBITS);
+    let mut soa: SingleState<SoaStorage> = SingleState::zero_state(N_QUBITS);
+    group.bench("soa", || {
+        soa.apply(black_box(&Gate::H(10)));
     });
-    group.bench_function("aos", |b| {
-        let mut s: SingleState<AosStorage> = SingleState::zero_state(N_QUBITS);
-        b.iter(|| s.apply(black_box(&Gate::H(10))));
+    let mut aos: SingleState<AosStorage> = SingleState::zero_state(N_QUBITS);
+    group.bench("aos", || {
+        aos.apply(black_box(&Gate::H(10)));
     });
     group.finish();
 }
 
-fn bench_qft_by_layout(c: &mut Criterion) {
-    let mut group = c.benchmark_group("layout_qft_16q");
+fn bench_qft_by_layout() {
+    let mut group = BenchGroup::new("layout_qft_16q");
     group.sample_size(10);
     let circuit = qft(16);
-    group.bench_function("soa", |b| {
-        b.iter(|| {
-            let mut s: SingleState<SoaStorage> = SingleState::zero_state(16);
-            s.run(black_box(&circuit));
-            black_box(s.norm_sqr())
-        });
+    group.bench("soa", || {
+        let mut s: SingleState<SoaStorage> = SingleState::zero_state(16);
+        s.run(black_box(&circuit));
+        black_box(s.norm_sqr());
     });
-    group.bench_function("aos", |b| {
-        b.iter(|| {
-            let mut s: SingleState<AosStorage> = SingleState::zero_state(16);
-            s.run(black_box(&circuit));
-            black_box(s.norm_sqr())
-        });
+    group.bench("aos", || {
+        let mut s: SingleState<AosStorage> = SingleState::zero_state(16);
+        s.run(black_box(&circuit));
+        black_box(s.norm_sqr());
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_by_layout, bench_qft_by_layout);
-criterion_main!(benches);
+fn main() {
+    bench_sweep_by_layout();
+    bench_qft_by_layout();
+}

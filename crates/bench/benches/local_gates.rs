@@ -1,34 +1,32 @@
-//! Criterion: local gate kernel cost vs target qubit index.
+//! Local gate kernel cost vs target qubit index.
 //!
 //! The laptop-scale analogue of Table 1's local rows: per-gate cost of a
 //! Hadamard sweep as the target qubit rises through the register. On real
 //! hardware the cost is flat until the stride leaves the cache/NUMA
 //! domain — the same effect the paper measures at qubits 30–31.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qse_circuit::Gate;
 use qse_statevec::SingleState;
+use qse_util::bench::BenchGroup;
 use std::hint::black_box;
 
 const N_QUBITS: u32 = 20; // 1M amplitudes, 16 MB — well past cache.
 
-fn bench_hadamard_by_qubit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_hadamard_by_qubit");
+fn bench_hadamard_by_qubit() {
+    let mut group = BenchGroup::new("local_hadamard_by_qubit");
     let bytes = 32u64 << N_QUBITS; // read + write per sweep
-    group.throughput(Throughput::Bytes(bytes));
+    group.throughput_bytes(bytes);
     for q in [0u32, 4, 8, 12, 16, 18, 19] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            let mut state: SingleState = SingleState::zero_state(N_QUBITS);
-            b.iter(|| {
-                state.apply(black_box(&Gate::H(q)));
-            });
+        let mut state: SingleState = SingleState::zero_state(N_QUBITS);
+        group.bench(q.to_string(), || {
+            state.apply(black_box(&Gate::H(q)));
         });
     }
     group.finish();
 }
 
-fn bench_gate_kinds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_gate_kinds");
+fn bench_gate_kinds() {
+    let mut group = BenchGroup::new("local_gate_kinds");
     let gates = [
         ("hadamard", Gate::H(5)),
         ("pauli_x", Gate::X(5)),
@@ -45,13 +43,15 @@ fn bench_gate_kinds(c: &mut Criterion) {
         ("swap", Gate::Swap(2, 9)),
     ];
     for (name, gate) in gates {
-        group.bench_function(name, |b| {
-            let mut state: SingleState = SingleState::zero_state(N_QUBITS);
-            b.iter(|| state.apply(black_box(&gate)));
+        let mut state: SingleState = SingleState::zero_state(N_QUBITS);
+        group.bench(name, || {
+            state.apply(black_box(&gate));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_hadamard_by_qubit, bench_gate_kinds);
-criterion_main!(benches);
+fn main() {
+    bench_hadamard_by_qubit();
+    bench_gate_kinds();
+}

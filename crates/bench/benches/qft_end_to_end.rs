@@ -1,44 +1,44 @@
-//! Criterion: built-in vs cache-blocked QFT end to end on the thread
-//! cluster — the laptop-scale Table 2.
+//! Built-in vs cache-blocked QFT end to end on the thread cluster — the
+//! laptop-scale Table 2.
 //!
 //! The cache-blocked variant halves the number of distributed gates, so
 //! its advantage grows with the cost of an exchange. Fusion of the
 //! controlled-phase blocks is benchmarked as the third variant.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use qse_circuit::qft::{cache_blocked_qft, default_split, qft};
 use qse_core::{SimConfig, ThreadClusterExecutor};
+use qse_util::bench::BenchGroup;
 use std::hint::black_box;
 
 const N_QUBITS: u32 = 16;
 const RANKS: u64 = 4;
 
-fn bench_qft_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qft_end_to_end_16q_4ranks");
+fn bench_qft_variants() {
+    let mut group = BenchGroup::new("qft_end_to_end_16q_4ranks");
     group.sample_size(10);
     let local = N_QUBITS - 2;
     let built_in = qft(N_QUBITS);
     let blocked = cache_blocked_qft(N_QUBITS, default_split(N_QUBITS, local));
 
-    group.bench_function("built_in_blocking", |b| {
-        let cfg = SimConfig::default_for(RANKS);
-        b.iter(|| black_box(ThreadClusterExecutor::run(&built_in, &cfg, 0, false)));
+    let cfg = SimConfig::default_for(RANKS);
+    group.bench("built_in_blocking", || {
+        black_box(ThreadClusterExecutor::run(&built_in, &cfg, 0, false));
     });
-    group.bench_function("built_in_nonblocking", |b| {
-        let cfg = SimConfig::fast_for(RANKS);
-        b.iter(|| black_box(ThreadClusterExecutor::run(&built_in, &cfg, 0, false)));
+    let cfg = SimConfig::fast_for(RANKS);
+    group.bench("built_in_nonblocking", || {
+        black_box(ThreadClusterExecutor::run(&built_in, &cfg, 0, false));
     });
-    group.bench_function("cache_blocked_fast", |b| {
-        let cfg = SimConfig::fast_for(RANKS);
-        b.iter(|| black_box(ThreadClusterExecutor::run(&blocked, &cfg, 0, false)));
+    group.bench("cache_blocked_fast", || {
+        black_box(ThreadClusterExecutor::run(&blocked, &cfg, 0, false));
     });
-    group.bench_function("cache_blocked_fast_fused", |b| {
-        let mut cfg = SimConfig::fast_for(RANKS);
-        cfg.fuse_diagonals = Some(4);
-        b.iter(|| black_box(ThreadClusterExecutor::run(&blocked, &cfg, 0, false)));
+    let mut cfg = SimConfig::fast_for(RANKS);
+    cfg.fuse_diagonals = Some(4);
+    group.bench("cache_blocked_fast_fused", || {
+        black_box(ThreadClusterExecutor::run(&blocked, &cfg, 0, false));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_qft_variants);
-criterion_main!(benches);
+fn main() {
+    bench_qft_variants();
+}

@@ -1,50 +1,50 @@
-//! Criterion: cost of the transformations themselves — the QFT SWAP
-//! shift, the general cache-blocking pass, and diagonal-run segmentation.
+//! Cost of the transformations themselves — the QFT SWAP shift, the
+//! general cache-blocking pass, and diagonal-run segmentation.
 //! Transpilation must stay negligible next to simulation for the paper's
 //! optimisation to be free.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qse_circuit::qft::{cache_blocked_qft, qft};
 use qse_circuit::random::{random_circuit, GatePool};
 use qse_circuit::transpile::cache_blocking::cache_block;
 use qse_circuit::transpile::fusion::diagonal_runs;
+use qse_util::bench::BenchGroup;
 use std::hint::black_box;
 
-fn bench_qft_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qft_builders");
+fn bench_qft_construction() {
+    let mut group = BenchGroup::new("qft_builders");
     for n in [16u32, 32, 44] {
-        group.bench_with_input(BenchmarkId::new("standard", n), &n, |b, &n| {
-            b.iter(|| black_box(qft(n)))
+        group.bench(format!("standard/{n}"), || {
+            black_box(qft(n));
         });
-        group.bench_with_input(BenchmarkId::new("cache_blocked", n), &n, |b, &n| {
-            b.iter(|| black_box(cache_blocked_qft(n, n - 8)))
+        group.bench(format!("cache_blocked/{n}"), || {
+            black_box(cache_blocked_qft(n, n - 8));
         });
     }
     group.finish();
 }
 
-fn bench_general_pass(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_blocking_pass");
+fn bench_general_pass() {
+    let mut group = BenchGroup::new("cache_blocking_pass");
     for gates in [100usize, 1000, 10_000] {
         let circuit = random_circuit(32, gates, GatePool::Full, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, c| {
-            b.iter(|| black_box(cache_block(c, 24)))
+        group.bench(gates.to_string(), || {
+            black_box(cache_block(&circuit, 24));
         });
     }
     group.finish();
 }
 
-fn bench_fusion_segmentation(c: &mut Criterion) {
+fn bench_fusion_segmentation() {
+    let mut group = BenchGroup::new("transpile_fusion");
     let circuit = qft(44);
-    c.bench_function("diagonal_runs_qft44", |b| {
-        b.iter(|| black_box(diagonal_runs(&circuit, 2)))
+    group.bench("diagonal_runs_qft44", || {
+        black_box(diagonal_runs(&circuit, 2));
     });
+    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_qft_construction,
-    bench_general_pass,
-    bench_fusion_segmentation
-);
-criterion_main!(benches);
+fn main() {
+    bench_qft_construction();
+    bench_general_pass();
+    bench_fusion_segmentation();
+}

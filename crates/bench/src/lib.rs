@@ -9,10 +9,10 @@ use qse_core::experiment::{results_dir, write_json};
 use qse_core::{ModelExecutor, SimConfig};
 use qse_machine::archer2::Machine;
 use qse_machine::perf::RunEstimate;
-use serde::Serialize;
+use qse_util::json::{Json, ToJson};
 
 /// One modelled data point, as serialised for EXPERIMENTS.md.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelPoint {
     /// Series label (e.g. "standard-medium", "built-in", "blocking").
     pub series: String,
@@ -48,6 +48,22 @@ impl ModelPoint {
             memory_fraction: est.memory_fraction(),
             compute_fraction: est.compute_fraction(),
         }
+    }
+}
+
+impl ToJson for ModelPoint {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("series", self.series.to_json()),
+            ("n_qubits", self.n_qubits.to_json()),
+            ("n_nodes", self.n_nodes.to_json()),
+            ("runtime_s", self.runtime_s.to_json()),
+            ("energy_j", self.energy_j.to_json()),
+            ("cu", self.cu.to_json()),
+            ("comm_fraction", self.comm_fraction.to_json()),
+            ("memory_fraction", self.memory_fraction.to_json()),
+            ("compute_fraction", self.compute_fraction.to_json()),
+        ])
     }
 }
 

@@ -1,7 +1,6 @@
 //! The circuit container and builder API.
 
 use crate::gate::Gate;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -10,7 +9,7 @@ use std::fmt;
 /// Gates are applied in list order: `gates[0]` first. The builder methods
 /// validate qubit indices eagerly, so a malformed circuit cannot reach the
 /// simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     n_qubits: u32,
     gates: Vec<Gate>,

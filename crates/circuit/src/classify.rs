@@ -15,10 +15,9 @@
 use crate::circuit::Circuit;
 use crate::gate::Gate;
 use qse_math::bits;
-use serde::{Deserialize, Serialize};
 
 /// How the register is split across ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
     n_qubits: u32,
     rank_qubits: u32,
@@ -93,7 +92,7 @@ impl Layout {
 }
 
 /// The paper's three operator classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GateClass {
     /// Diagonal matrix; no amplitude ever reads another amplitude.
     FullyLocal,
@@ -140,7 +139,7 @@ pub fn classify(gate: &Gate, layout: &Layout) -> GateClass {
 
 /// Communication summary of a circuit under a layout — what the paper's
 /// optimisations change. Byte counts are *per participating rank*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommSummary {
     /// Gates in the fully-local (diagonal) class.
     pub fully_local: usize,

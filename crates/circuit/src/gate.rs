@@ -7,12 +7,11 @@
 //! primitive the cache-blocking transpiler is built on.
 
 use qse_math::{Complex64, Matrix2, Matrix4};
-use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
 use std::fmt;
 
 /// A quantum gate instance bound to specific qubits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Gate {
     /// Hadamard.
     H(u32),

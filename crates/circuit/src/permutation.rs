@@ -5,12 +5,11 @@
 //! plus conversion to explicit SWAP networks for re-insertion into circuits.
 
 use qse_math::bits;
-use serde::{Deserialize, Serialize};
 
 /// A bijection on qubit labels `0..n`.
 ///
 /// `map[q]` is where qubit `q` goes. Identity is `map[q] == q`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Permutation {
     map: Vec<u32>,
 }

@@ -7,12 +7,11 @@
 use crate::circuit::Circuit;
 use crate::gate::Gate;
 use qse_math::{Complex64, Matrix2, Matrix4};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qse_util::rng::{Rng, StdRng};
 
 /// A Haar-ish random single-qubit unitary from Euler angles (exactly
 /// unitary by construction).
-pub fn random_unitary1(rng: &mut StdRng) -> Matrix2 {
+pub fn random_unitary1<R: Rng>(rng: &mut R) -> Matrix2 {
     let theta = rng.random_range(0.0..std::f64::consts::PI);
     let phi = rng.random_range(0.0..std::f64::consts::TAU);
     let lam = rng.random_range(0.0..std::f64::consts::TAU);
@@ -28,7 +27,7 @@ pub fn random_unitary1(rng: &mut StdRng) -> Matrix2 {
 /// A random two-qubit unitary: a tensor product of random single-qubit
 /// unitaries, optionally entangled by conjugation with SWAP + CZ-like
 /// phases (unitary by construction).
-pub fn random_unitary2(rng: &mut StdRng) -> Matrix4 {
+pub fn random_unitary2<R: Rng>(rng: &mut R) -> Matrix4 {
     let u = Matrix4::kron(&random_unitary1(rng), &random_unitary1(rng));
     if rng.random_bool(0.5) {
         // Entangle: multiply by SWAP and a random diagonal phase layer.
@@ -63,7 +62,7 @@ pub fn random_circuit(n_qubits: u32, n_gates: usize, pool: GatePool, seed: u64) 
     c
 }
 
-fn two_distinct(rng: &mut StdRng, n: u32) -> (u32, u32) {
+fn two_distinct<R: Rng>(rng: &mut R, n: u32) -> (u32, u32) {
     let a = rng.random_range(0..n);
     let mut b = rng.random_range(0..n - 1);
     if b >= a {
@@ -72,7 +71,7 @@ fn two_distinct(rng: &mut StdRng, n: u32) -> (u32, u32) {
     (a, b)
 }
 
-fn random_gate(rng: &mut StdRng, n: u32, pool: GatePool) -> Gate {
+fn random_gate<R: Rng>(rng: &mut R, n: u32, pool: GatePool) -> Gate {
     let theta = rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
     match pool {
         GatePool::QftLike => match rng.random_range(0..3) {

@@ -7,10 +7,9 @@
 //! amortises SWAPs much better than one that scatters them.
 
 use crate::circuit::Circuit;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate structural statistics for one circuit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CircuitStats {
     /// Register width.
     pub n_qubits: u32,

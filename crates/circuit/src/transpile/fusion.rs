@@ -9,10 +9,9 @@
 //! engine and the cost model both consume these run descriptors.
 
 use crate::circuit::Circuit;
-use serde::{Deserialize, Serialize};
 
 /// A maximal run `[start, end)` of consecutive diagonal gates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiagonalRun {
     /// First gate index of the run.
     pub start: usize,
@@ -59,7 +58,7 @@ pub fn diagonal_runs(circuit: &Circuit, min_len: usize) -> Vec<DiagonalRun> {
 }
 
 /// An execution schedule: each step is either one gate or a fused run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleStep {
     /// Apply gate `index` on its own.
     Single(usize),

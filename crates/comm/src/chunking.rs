@@ -50,11 +50,19 @@ impl ChunkPolicy {
     }
 
     /// Byte ranges of each chunk, in order.
+    ///
+    /// Chunk starts are computed with checked arithmetic: for any
+    /// `total <= usize::MAX` every start offset `i * cap` is `< total` and
+    /// therefore representable, but the guard keeps a future refactor from
+    /// silently wrapping on pathological `(total, cap)` combinations.
     pub fn ranges(&self, total: usize) -> impl Iterator<Item = Range<usize>> + '_ {
         let cap = self.max_message_bytes;
         (0..self.num_chunks(total)).map(move |i| {
-            let start = i * cap;
-            start..usize::min(start + cap, total)
+            let start = i
+                .checked_mul(cap)
+                .expect("chunk start offset overflows usize");
+            debug_assert!(start < total, "chunk start {start} beyond total {total}");
+            start..usize::min(start.saturating_add(cap), total)
         })
     }
 }
@@ -187,6 +195,37 @@ mod tests {
     }
 
     #[test]
+    fn boundary_totals_zero_cap_and_cap_plus_one() {
+        let cap = 64;
+        let p = ChunkPolicy::new(cap).unwrap();
+        // total = 0: no chunks, no ranges.
+        assert_eq!(p.num_chunks(0), 0);
+        assert_eq!(p.ranges(0).count(), 0);
+        // total = cap: exactly one full chunk.
+        assert_eq!(p.num_chunks(cap), 1);
+        assert_eq!(p.ranges(cap).collect::<Vec<_>>(), vec![0..cap]);
+        // total = cap + 1: a full chunk plus a one-byte tail.
+        assert_eq!(p.num_chunks(cap + 1), 2);
+        assert_eq!(
+            p.ranges(cap + 1).collect::<Vec<_>>(),
+            vec![0..cap, cap..cap + 1]
+        );
+    }
+
+    #[test]
+    fn ranges_near_usize_max_do_not_wrap() {
+        // The last chunk's nominal end (start + cap) would exceed
+        // usize::MAX; the saturating add must clamp to `total` instead of
+        // wrapping around to a tiny range.
+        let cap = usize::MAX / 2 + 1; // 2^63 on 64-bit targets
+        let total = usize::MAX;
+        let p = ChunkPolicy::new(cap).unwrap();
+        assert_eq!(p.num_chunks(total), 2);
+        let ranges: Vec<_> = p.ranges(total).collect();
+        assert_eq!(ranges, vec![0..cap, cap..total]);
+    }
+
+    #[test]
     fn archer2_policy_matches_paper() {
         // 64 GB local statevector / 2 GB cap = 32 messages (paper §2.1).
         let local_bytes = 64usize * 1024 * 1024 * 1024;
@@ -204,9 +243,37 @@ mod tests {
     }
 
     #[test]
+    fn chunk_tags_unique_at_documented_bounds() {
+        // The extreme corners of the documented domain (base < 2^31,
+        // idx < 2^32) must still map to distinct tags.
+        let bases = [0u64, 1, (1 << 31) - 1];
+        let idxs = [0usize, 1, (1usize << 32) - 1];
+        let mut seen = std::collections::HashSet::new();
+        for &base in &bases {
+            for &idx in &idxs {
+                assert!(seen.insert(chunk_tag(base, idx)), "collision at ({base}, {idx})");
+            }
+        }
+        assert_eq!(seen.len(), bases.len() * idxs.len());
+    }
+
+    #[test]
+    fn chunk_tag_round_trips_base_and_index() {
+        let tag = chunk_tag((1 << 31) - 1, (1usize << 32) - 1);
+        assert_eq!(tag >> CHUNK_TAG_SHIFT, (1 << 31) - 1);
+        assert_eq!(tag & 0xFFFF_FFFF, (1u64 << 32) - 1);
+    }
+
+    #[test]
     #[should_panic(expected = "base tag too large")]
     fn oversized_base_tag_panics() {
         chunk_tag(1 << 31, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk index too large")]
+    fn oversized_chunk_index_panics() {
+        chunk_tag(0, 1usize << 32);
     }
 
     fn roundtrip(mode: ExchangeMode, len: usize, cap: usize) {

@@ -11,7 +11,7 @@
 use crate::message::{bytes_to_f64s, f64s_to_bytes};
 use crate::Communicator;
 use crate::Result;
-use bytes::Bytes;
+use qse_util::Bytes;
 
 /// Reserved tag space for collectives; user tags must stay below `1 << 31`
 /// (see [`crate::chunking::chunk_tag`]), so anything at or above `1 << 62`

@@ -5,8 +5,8 @@ use crate::message::Envelope;
 use crate::nonblocking::Request;
 use crate::stats::{SharedCounters, TrafficStats};
 use crate::Result;
-use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use qse_util::Bytes;
+use qse_util::mailbox::{Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};

@@ -1,6 +1,6 @@
 //! Message envelope and payload conversion helpers.
 
-use bytes::Bytes;
+use qse_util::Bytes;
 
 /// A message in flight: source rank, user tag, and an owned byte payload.
 ///

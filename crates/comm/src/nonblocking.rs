@@ -10,7 +10,7 @@
 //! to match, and completion happens inside [`crate::Communicator::wait`] so
 //! the borrow of the endpoint stays explicit.
 
-use bytes::Bytes;
+use qse_util::Bytes;
 use crate::Communicator;
 use crate::Result;
 

@@ -3,7 +3,7 @@
 use crate::communicator::Communicator;
 use crate::message::Envelope;
 use crate::stats::{SharedCounters, TrafficCounters};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use qse_util::mailbox::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 

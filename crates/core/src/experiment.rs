@@ -4,7 +4,7 @@
 //! module, so the console output lines up with the paper's tables and a
 //! machine-readable JSON twin lands next to it for EXPERIMENTS.md.
 
-use serde::Serialize;
+use qse_util::json::ToJson;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -89,12 +89,11 @@ pub fn fmt_delta(ratio: f64) -> String {
 }
 
 /// Writes a serialisable record as pretty JSON, creating parents.
-pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+pub fn write_json<T: ToJson>(path: &Path, value: &T) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(value).expect("serialisable record");
-    std::fs::write(path, json)
+    std::fs::write(path, value.to_json().pretty())
 }
 
 /// The default output directory for experiment JSON (`results/` at the
@@ -147,9 +146,13 @@ mod tests {
     fn json_roundtrip() {
         let dir = std::env::temp_dir().join("qse_experiment_test");
         let path = dir.join("record.json");
-        #[derive(Serialize)]
         struct R {
             x: u32,
+        }
+        impl ToJson for R {
+            fn to_json(&self) -> qse_util::Json {
+                qse_util::Json::object([("x", self.x.to_json())])
+            }
         }
         write_json(&path, &R { x: 7 }).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

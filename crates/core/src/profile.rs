@@ -7,11 +7,11 @@
 //! class split is the measured analogue of fig 5's bars.
 
 use qse_circuit::classify::GateClass;
-use serde::{Deserialize, Serialize};
+use qse_util::json::{Json, ToJson};
 use std::time::Duration;
 
 /// Accumulated wall-clock per locality class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ClassProfile {
     /// Seconds spent in fully-local (diagonal) sweeps.
     pub fully_local_s: f64,
@@ -47,8 +47,18 @@ impl ClassProfile {
     }
 }
 
+impl ToJson for ClassProfile {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("fully_local_s", self.fully_local_s.to_json()),
+            ("local_memory_s", self.local_memory_s.to_json()),
+            ("distributed_s", self.distributed_s.to_json()),
+        ])
+    }
+}
+
 /// A measured thread-cluster run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProfiledRun {
     /// Register width.
     pub n_qubits: u32,
@@ -71,6 +81,20 @@ impl ProfiledRun {
     /// size (or half, with half-exchange SWAPs).
     pub fn bytes_per_rank(&self) -> u64 {
         self.bytes_sent / self.n_ranks
+    }
+}
+
+impl ToJson for ProfiledRun {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("n_qubits", self.n_qubits.to_json()),
+            ("n_ranks", self.n_ranks.to_json()),
+            ("wall_s", self.wall_s.to_json()),
+            ("profile", self.profile.to_json()),
+            ("bytes_sent", self.bytes_sent.to_json()),
+            ("messages_sent", self.messages_sent.to_json()),
+            ("gate_count", self.gate_count.to_json()),
+        ])
     }
 }
 

@@ -8,10 +8,9 @@
 use crate::network::NetworkSpec;
 use crate::node::{NodeKind, NodeSpec};
 use crate::power::PowerModel;
-use serde::{Deserialize, Serialize};
 
 /// A complete machine description consumed by the performance model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Machine {
     /// Human-readable name.
     pub name: &'static str,

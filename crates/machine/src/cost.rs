@@ -2,12 +2,11 @@
 
 use crate::frequency::CpuFrequency;
 use crate::node::NodeKind;
-use serde::{Deserialize, Serialize};
 
 /// Communication strategy, mirroring the executable engine's
 /// `qse_comm::chunking::ExchangeMode` (kept separate so the model crate
 /// does not depend on the transport crate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CommMode {
     /// QuEST's blocking chunked sendrecv.
     #[default]
@@ -17,7 +16,7 @@ pub enum CommMode {
 }
 
 /// A full model-run configuration — one "job submission".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelConfig {
     /// Node flavour (§2.2 optimisation 2).
     pub node_kind: NodeKind,
@@ -63,7 +62,7 @@ impl ModelConfig {
 }
 
 /// Time components of one gate (or fused run) on the modelled machine.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GateCost {
     /// Floating-point time, seconds.
     pub compute_s: f64,

@@ -1,10 +1,9 @@
 //! Job-level energy accounting — the model's stand-in for SLURM's
 //! per-node power counters plus the paper's switch estimate (§2.4).
 
-use serde::{Deserialize, Serialize};
 
 /// Energy totals for one modelled job.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Energy drawn by nodes while compute-bound, joules.
     pub compute_j: f64,

@@ -12,10 +12,9 @@
 //!   which yields the paper's "+25 % energy for 5–10 % speed" at high
 //!   frequency and "equal energy, much slower" at low frequency.
 
-use serde::{Deserialize, Serialize};
 
 /// The SLURM-selectable CPU frequency levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CpuFrequency {
     /// 1.50 GHz.
     Low,

@@ -7,10 +7,9 @@
 //! non-blocking rewrite (after subtracting the combine sweep).
 
 use crate::cost::CommMode;
-use serde::{Deserialize, Serialize};
 
 /// Interconnect description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkSpec {
     /// Nodes served by each switch (8 on ARCHER2).
     pub nodes_per_switch: u64,

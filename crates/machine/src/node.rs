@@ -1,9 +1,8 @@
 //! Node specifications.
 
-use serde::{Deserialize, Serialize};
 
 /// The two ARCHER2 node flavours the paper compares (§2.2, optimisation 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// 256 GB standard compute node.
     Standard,
@@ -23,7 +22,7 @@ impl NodeKind {
 }
 
 /// Physical description of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Which flavour this is.
     pub kind: NodeKind,

@@ -16,10 +16,9 @@ use crate::power::Phase;
 use qse_circuit::classify::{classify, GateClass, Layout};
 use qse_circuit::transpile::fusion::{fused_schedule, ScheduleStep};
 use qse_circuit::{Circuit, Gate};
-use serde::{Deserialize, Serialize};
 
 /// Per-gate record in the detailed timeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GateTiming {
     /// Index of the first gate of this step in the circuit.
     pub gate_index: usize,
@@ -32,7 +31,7 @@ pub struct GateTiming {
 }
 
 /// The modelled outcome of one job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunEstimate {
     /// Register width.
     pub n_qubits: u32,

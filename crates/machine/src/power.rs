@@ -10,10 +10,9 @@
 //! * compute-bound: ≈ 500 W (vector units busy, the EPYC 7742 ceiling).
 
 use crate::frequency::CpuFrequency;
-use serde::{Deserialize, Serialize};
 
 /// What a node is doing during a time slice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Floating-point dominated work.
     Compute,
@@ -26,7 +25,7 @@ pub enum Phase {
 }
 
 /// Per-node power model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Static draw, watts — fans, DRAM refresh, uncore floor.
     pub static_w: f64,

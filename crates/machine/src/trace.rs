@@ -11,10 +11,9 @@ use crate::energy::format_energy;
 use crate::perf::RunEstimate;
 use crate::power::Phase;
 use crate::archer2::Machine;
-use serde::{Deserialize, Serialize};
 
 /// One piecewise-constant segment of the job's aggregate power draw.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSegment {
     /// Segment start, seconds from job start.
     pub start_s: f64,
@@ -77,7 +76,7 @@ pub fn peak_power_w(timeline: &[PowerSegment]) -> f64 {
 }
 
 /// An `sacct`-shaped accounting record for a modelled job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SacctRecord {
     /// Job name.
     pub job_name: String,

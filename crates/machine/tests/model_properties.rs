@@ -1,104 +1,108 @@
 //! Property-style invariants of the performance/energy model, checked
 //! across the whole configuration space rather than at single points.
+//!
+//! Seeded in-tree property loops (`qse_util::check`): each case draws a
+//! model configuration and circuit from a deterministic seed stream.
 
-use proptest::prelude::*;
 use qse_circuit::benchmarks::hadamard_benchmark;
 use qse_circuit::qft::qft;
 use qse_circuit::random::{random_circuit, GatePool};
 use qse_machine::cost::{CommMode, ModelConfig};
 use qse_machine::variants::gpu_machine;
 use qse_machine::{archer2, estimate, CpuFrequency, NodeKind};
+use qse_util::check::check;
+use qse_util::rng::Rng;
 
-fn any_config() -> impl Strategy<Value = ModelConfig> {
-    (
-        prop_oneof![Just(NodeKind::Standard), Just(NodeKind::HighMem)],
-        prop_oneof![
-            Just(CpuFrequency::Low),
-            Just(CpuFrequency::Medium),
-            Just(CpuFrequency::High)
-        ],
-        prop_oneof![Just(CommMode::Blocking), Just(CommMode::NonBlocking)],
-        any::<bool>(),
-        prop_oneof![Just(None), Just(Some(2usize)), Just(Some(8usize))],
-        0u32..5, // node exponent: 1..16 nodes
-    )
-        .prop_map(
-            |(node_kind, frequency, comm_mode, half, fuse, exp)| ModelConfig {
-                node_kind,
-                frequency,
-                comm_mode,
-                half_exchange_swaps: half,
-                fuse_diagonals: fuse,
-                n_nodes: 1 << exp,
-            },
-        )
+fn any_config(rng: &mut impl Rng) -> ModelConfig {
+    ModelConfig {
+        node_kind: [NodeKind::Standard, NodeKind::HighMem][rng.random_range(0..2usize)],
+        frequency: [CpuFrequency::Low, CpuFrequency::Medium, CpuFrequency::High]
+            [rng.random_range(0..3usize)],
+        comm_mode: [CommMode::Blocking, CommMode::NonBlocking][rng.random_range(0..2usize)],
+        half_exchange_swaps: rng.random_bool(0.5),
+        fuse_diagonals: [None, Some(2usize), Some(8usize)][rng.random_range(0..3usize)],
+        n_nodes: 1 << rng.random_range(0u32..5), // 1..16 nodes
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Estimates are always finite, positive, and internally consistent
-    /// (components sum to the runtime; fractions sum to 1; energy is
-    /// positive) — for every configuration and circuit shape.
-    #[test]
-    fn estimates_are_well_formed(cfg in any_config(), seed in 0u64..50) {
+/// Estimates are always finite, positive, and internally consistent
+/// (components sum to the runtime; fractions sum to 1; energy is
+/// positive) — for every configuration and circuit shape.
+#[test]
+fn estimates_are_well_formed() {
+    check(40, |rng| {
+        let cfg = any_config(rng);
+        let seed = rng.random_range(0u64..50);
         let machine = archer2();
         let n_qubits = 18 + (seed % 4) as u32;
         let circuit = random_circuit(n_qubits, 30, GatePool::Full, seed);
         let est = estimate(&circuit, &machine, &cfg);
-        prop_assert!(est.runtime_s.is_finite() && est.runtime_s > 0.0);
-        prop_assert!(est.total_energy_j().is_finite() && est.total_energy_j() > 0.0);
+        assert!(est.runtime_s.is_finite() && est.runtime_s > 0.0);
+        assert!(est.total_energy_j().is_finite() && est.total_energy_j() > 0.0);
         let sum = est.breakdown.compute_s + est.breakdown.memory_s + est.breakdown.comm_s;
-        prop_assert!((sum - est.runtime_s).abs() < 1e-9);
+        assert!((sum - est.runtime_s).abs() < 1e-9);
         let fracs = est.comm_fraction() + est.memory_fraction() + est.compute_fraction();
-        prop_assert!((fracs - 1.0).abs() < 1e-9);
-        prop_assert!(est.cu > 0.0);
-        prop_assert_eq!(est.gates.is_empty(), circuit.is_empty());
-    }
+        assert!((fracs - 1.0).abs() < 1e-9);
+        assert!(est.cu > 0.0);
+        assert_eq!(est.gates.is_empty(), circuit.is_empty());
+    });
+}
 
-    /// Non-blocking communication never loses to blocking, for any
-    /// circuit, on either machine.
-    #[test]
-    fn nonblocking_never_slower(seed in 0u64..30) {
-        let circuit = random_circuit(20, 40, GatePool::Full, seed);
+/// Non-blocking communication never loses to blocking, for any circuit,
+/// on either machine.
+#[test]
+fn nonblocking_never_slower() {
+    check(30, |rng| {
+        let circuit = random_circuit(20, 40, GatePool::Full, rng.random_range(0u64..30));
         for machine in [archer2(), gpu_machine()] {
             let blocking = estimate(&circuit, &machine, &ModelConfig::default_for(8));
             let nonblocking = estimate(
                 &circuit,
                 &machine,
-                &ModelConfig { comm_mode: CommMode::NonBlocking, ..ModelConfig::default_for(8) },
+                &ModelConfig {
+                    comm_mode: CommMode::NonBlocking,
+                    ..ModelConfig::default_for(8)
+                },
             );
-            prop_assert!(nonblocking.runtime_s <= blocking.runtime_s + 1e-12);
+            assert!(nonblocking.runtime_s <= blocking.runtime_s + 1e-12);
         }
-    }
+    });
+}
 
-    /// Half-exchange SWAPs never increase runtime or traffic.
-    #[test]
-    fn half_exchange_never_worse(seed in 0u64..30) {
+/// Half-exchange SWAPs never increase runtime or traffic.
+#[test]
+fn half_exchange_never_worse() {
+    check(30, |rng| {
         let machine = archer2();
-        let circuit = random_circuit(20, 40, GatePool::QftLike, seed);
+        let circuit = random_circuit(20, 40, GatePool::QftLike, rng.random_range(0u64..30));
         let full = estimate(&circuit, &machine, &ModelConfig::default_for(8));
         let half = estimate(
             &circuit,
             &machine,
-            &ModelConfig { half_exchange_swaps: true, ..ModelConfig::default_for(8) },
+            &ModelConfig {
+                half_exchange_swaps: true,
+                ..ModelConfig::default_for(8)
+            },
         );
-        prop_assert!(half.runtime_s <= full.runtime_s + 1e-12);
-        prop_assert!(half.breakdown.comm_bytes <= full.breakdown.comm_bytes);
-    }
+        assert!(half.runtime_s <= full.runtime_s + 1e-12);
+        assert!(half.breakdown.comm_bytes <= full.breakdown.comm_bytes);
+    });
+}
 
-    /// More gates never cost less (monotonicity under circuit extension).
-    #[test]
-    fn extending_a_circuit_costs_more(seed in 0u64..30) {
+/// More gates never cost less (monotonicity under circuit extension).
+#[test]
+fn extending_a_circuit_costs_more() {
+    check(30, |rng| {
+        let seed = rng.random_range(0u64..30);
         let machine = archer2();
         let short = random_circuit(18, 20, GatePool::Full, seed);
         let long = short.then(&random_circuit(18, 10, GatePool::Full, seed + 1));
         let cfg = ModelConfig::default_for(4);
         let a = estimate(&short, &machine, &cfg);
         let b = estimate(&long, &machine, &cfg);
-        prop_assert!(b.runtime_s >= a.runtime_s);
-        prop_assert!(b.total_energy_j() >= a.total_energy_j());
-    }
+        assert!(b.runtime_s >= a.runtime_s);
+        assert!(b.total_energy_j() >= a.total_energy_j());
+    });
 }
 
 /// Frequency ordering holds on whole-job estimates, not just per-phase

@@ -6,13 +6,12 @@
 //! is layout-compatible with interleaved `[re, im, re, im, ...]` storage,
 //! which the statevector crate's AoS layout relies on.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` components.
-#[derive(Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Default)]
 #[repr(C)]
 pub struct Complex64 {
     /// Real part.

@@ -7,10 +7,9 @@
 
 use crate::approx::close;
 use crate::complex::Complex64;
-use serde::{Deserialize, Serialize};
 
 /// A 2×2 complex matrix in row-major order: `[[a, b], [c, d]]`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Matrix2 {
     /// Row-major elements `[a, b, c, d]`.
     pub m: [Complex64; 4],
@@ -90,7 +89,7 @@ impl Matrix2 {
 }
 
 /// A 4×4 complex matrix in row-major order, acting on two qubits.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Matrix4 {
     /// Row-major elements.
     pub m: [Complex64; 16],

@@ -837,6 +837,31 @@ mod tests {
     }
 
     #[test]
+    fn measure_matches_single_process_on_same_draw() {
+        // Same circuit, same uniform draw: the distributed measurement
+        // must observe the same bit and leave the same post-measurement
+        // state as the single-address-space `measure_qubit_with`.
+        use crate::measure::measure_qubit_with;
+        use crate::single::SingleState;
+        let c = random_circuit(6, 40, GatePool::Full, 21);
+        for u in [0.05f64, 0.35, 0.65, 0.95] {
+            let mut single: SingleState = SingleState::zero_state(6);
+            single.run(&c);
+            let out = measure_qubit_with(&mut single, 3, u);
+            let gathered = Universe::new(4).run(|comm| {
+                let mut st: DistributedState<SoaStorage> =
+                    DistributedState::zero_state(comm, 6, DistConfig::default());
+                st.run(&c);
+                let bit = st.measure_qubit(3, u);
+                assert_eq!(bit, out.bit, "bit mismatch at u = {u}");
+                st.gather()
+            });
+            let got = gathered.into_iter().flatten().next().unwrap();
+            assert_slices_close(&got, &single.to_vec(), 1e-9);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "rank thread panicked")]
     fn impossible_distributed_collapse_panics() {
         Universe::new(2).run(|comm| {

@@ -10,7 +10,7 @@
 use crate::single::SingleState;
 use crate::storage::AmpStorage;
 use qse_math::Complex64;
-use rand::Rng;
+use qse_util::rng::Rng;
 
 /// Draws one basis-state index from the state's |amplitude|² distribution.
 ///
@@ -64,8 +64,22 @@ pub fn measure_qubit<S: AmpStorage, R: Rng>(
     qubit: u32,
     rng: &mut R,
 ) -> MeasureOutcome {
+    measure_qubit_with(state, qubit, rng.random_range(0.0..1.0))
+}
+
+/// Deterministic entry point: measures `qubit` using the caller-supplied
+/// uniform draw `u` in `[0, 1)`.
+///
+/// This is the same contract as `DistributedState::measure_qubit(qubit, u)`,
+/// so single-process and distributed runs given the same draw observe the
+/// same bit — the cross-validation tests rely on this.
+pub fn measure_qubit_with<S: AmpStorage>(
+    state: &mut SingleState<S>,
+    qubit: u32,
+    u: f64,
+) -> MeasureOutcome {
     let p1 = state.prob_one(qubit);
-    let bit = u8::from(rng.random_range(0.0..1.0) < p1);
+    let bit = u8::from(u < p1);
     collapse(state, qubit, bit);
     MeasureOutcome {
         bit,
@@ -108,8 +122,7 @@ mod tests {
     use super::*;
     use qse_circuit::Circuit;
     use qse_math::approx::assert_close;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qse_util::rng::StdRng;
 
     fn bell() -> SingleState {
         let mut c = Circuit::new(2);
@@ -148,6 +161,19 @@ mod tests {
             assert_close(s.prob_one(1), out.bit as f64, 1e-12);
             assert_close(s.norm_sqr(), 1.0, 1e-12);
         }
+    }
+
+    #[test]
+    fn deterministic_u_selects_the_branch() {
+        // u below p1 observes |1>, u at or above p1 observes |0>.
+        let mut s = bell();
+        let out = measure_qubit_with(&mut s, 0, 0.25);
+        assert_eq!(out.bit, 1);
+        assert_close(out.probability, 0.5, 1e-12);
+        let mut s = bell();
+        let out = measure_qubit_with(&mut s, 0, 0.75);
+        assert_eq!(out.bit, 0);
+        assert_close(out.probability, 0.5, 1e-12);
     }
 
     #[test]

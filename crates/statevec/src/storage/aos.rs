@@ -9,7 +9,7 @@
 use super::{AmpStorage, PAR_THRESHOLD};
 use qse_math::bits;
 use qse_math::{Complex64, Matrix2};
-use rayon::prelude::*;
+use qse_util::parallel::{parallel_for_each, parallel_map_sum};
 
 /// Interleaved `Complex64` amplitude array.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +63,8 @@ impl AmpStorage for AosStorage {
 
     fn norm_sqr_sum(&self) -> f64 {
         if self.len() >= PAR_THRESHOLD {
-            self.amps.par_iter().map(|a| a.norm_sqr()).sum()
+            let chunks: Vec<&[Complex64]> = self.amps.chunks(HALF_CHUNK).collect();
+            parallel_map_sum(chunks, |c| c.iter().map(|a| a.norm_sqr()).sum())
         } else {
             self.amps.iter().map(|a| a.norm_sqr()).sum()
         }
@@ -80,10 +81,12 @@ impl AmpStorage for AosStorage {
         let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
         if len >= PAR_THRESHOLD && block < len {
             let m = *m;
-            // Batch several blocks per Rayon task (see SoA kernel).
+            // Batch several blocks per work item (see SoA kernel).
             let blocks_per_task = (HALF_CHUNK / block).max(1);
             let task = block * blocks_per_task;
-            self.amps.par_chunks_mut(task).enumerate().for_each(|(ti, tc)| {
+            let chunks: Vec<(usize, &mut [Complex64])> =
+                self.amps.chunks_mut(task).enumerate().collect();
+            parallel_for_each(chunks, |(ti, tc)| {
                 let base = ti * task;
                 for (bi, chunk) in tc.chunks_mut(block).enumerate() {
                     apply_block(chunk, stride, base + bi * block, &m, ctrl_mask);
@@ -92,21 +95,24 @@ impl AmpStorage for AosStorage {
         } else if len >= PAR_THRESHOLD {
             let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
             let (lo, hi) = self.amps.split_at_mut(stride);
-            lo.par_chunks_mut(HALF_CHUNK)
-                .zip(hi.par_chunks_mut(HALF_CHUNK))
+            let chunks: Vec<(usize, &mut [Complex64], &mut [Complex64])> = lo
+                .chunks_mut(HALF_CHUNK)
+                .zip(hi.chunks_mut(HALF_CHUNK))
                 .enumerate()
-                .for_each(|(ci, (lc, hc))| {
-                    let base = ci * HALF_CHUNK;
-                    for k in 0..lc.len() {
-                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                            continue;
-                        }
-                        let a0 = lc[k];
-                        let a1 = hc[k];
-                        lc[k] = m00 * a0 + m01 * a1;
-                        hc[k] = m10 * a0 + m11 * a1;
+                .map(|(ci, (lc, hc))| (ci, lc, hc))
+                .collect();
+            parallel_for_each(chunks, |(ci, lc, hc)| {
+                let base = ci * HALF_CHUNK;
+                for k in 0..lc.len() {
+                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                        continue;
                     }
-                });
+                    let a0 = lc[k];
+                    let a1 = hc[k];
+                    lc[k] = m00 * a0 + m01 * a1;
+                    hc[k] = m10 * a0 + m11 * a1;
+                }
+            });
         } else {
             for bi in 0..len / block {
                 let lo = bi * block;
@@ -117,15 +123,14 @@ impl AmpStorage for AosStorage {
 
     fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync)) {
         if self.len() >= PAR_THRESHOLD {
-            self.amps
-                .par_chunks_mut(HALF_CHUNK)
-                .enumerate()
-                .for_each(|(ci, chunk)| {
-                    let base = ci * HALF_CHUNK;
-                    for (k, a) in chunk.iter_mut().enumerate() {
-                        *a *= phase(offset | (base + k) as u64);
-                    }
-                });
+            let chunks: Vec<(usize, &mut [Complex64])> =
+                self.amps.chunks_mut(HALF_CHUNK).enumerate().collect();
+            parallel_for_each(chunks, |(ci, chunk)| {
+                let base = ci * HALF_CHUNK;
+                for (k, a) in chunk.iter_mut().enumerate() {
+                    *a *= phase(offset | (base + k) as u64);
+                }
+            });
         } else {
             for (i, a) in self.amps.iter_mut().enumerate() {
                 *a *= phase(offset | i as u64);
@@ -154,20 +159,23 @@ impl AmpStorage for AosStorage {
         assert_eq!(theirs.len(), self.len() * 2, "pair buffer size mismatch");
         let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
         if self.len() >= PAR_THRESHOLD {
-            self.amps
-                .par_chunks_mut(HALF_CHUNK)
-                .zip(theirs.par_chunks(HALF_CHUNK * 2))
+            let chunks: Vec<(usize, &mut [Complex64], &[f64])> = self
+                .amps
+                .chunks_mut(HALF_CHUNK)
+                .zip(theirs.chunks(HALF_CHUNK * 2))
                 .enumerate()
-                .for_each(|(ci, (chunk, tc))| {
-                    let base = ci * HALF_CHUNK;
-                    for (k, a) in chunk.iter_mut().enumerate() {
-                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                            continue;
-                        }
-                        let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
-                        *a = c_mine * *a + c_theirs * other;
+                .map(|(ci, (chunk, tc))| (ci, chunk, tc))
+                .collect();
+            parallel_for_each(chunks, |(ci, chunk, tc)| {
+                let base = ci * HALF_CHUNK;
+                for (k, a) in chunk.iter_mut().enumerate() {
+                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                        continue;
                     }
-                });
+                    let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
+                    *a = c_mine * *a + c_theirs * other;
+                }
+            });
         } else {
             for (i, a) in self.amps.iter_mut().enumerate() {
                 if ctrl_mask != 0 && i as u64 & ctrl_mask == 0 {

@@ -7,7 +7,7 @@
 use super::{AmpStorage, PAR_THRESHOLD};
 use qse_math::bits;
 use qse_math::{Complex64, Matrix2};
-use rayon::prelude::*;
+use qse_util::parallel::{parallel_for_each, parallel_map_sum};
 
 /// Separate `re[]` / `im[]` amplitude arrays.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,11 +97,14 @@ impl AmpStorage for SoaStorage {
 
     fn norm_sqr_sum(&self) -> f64 {
         if self.len() >= PAR_THRESHOLD {
-            self.re
-                .par_iter()
-                .zip(self.im.par_iter())
-                .map(|(r, i)| r * r + i * i)
-                .sum()
+            let chunks: Vec<(&[f64], &[f64])> = self
+                .re
+                .chunks(HALF_CHUNK)
+                .zip(self.im.chunks(HALF_CHUNK))
+                .collect();
+            parallel_map_sum(chunks, |(rc, ic)| {
+                rc.iter().zip(ic).map(|(r, i)| r * r + i * i).sum()
+            })
         } else {
             self.re
                 .iter()
@@ -122,49 +125,56 @@ impl AmpStorage for SoaStorage {
         let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
         if len >= PAR_THRESHOLD && block < len {
             let m = *m;
-            // Batch several blocks per Rayon task: one task per 2·stride
+            // Batch several blocks per work item: one item per 2·stride
             // block would swamp the pool with tiny work items at low
             // qubit indices.
             let blocks_per_task = (HALF_CHUNK / block).max(1);
             let task = block * blocks_per_task;
-            self.re
-                .par_chunks_mut(task)
-                .zip(self.im.par_chunks_mut(task))
+            let chunks: Vec<(usize, &mut [f64], &mut [f64])> = self
+                .re
+                .chunks_mut(task)
+                .zip(self.im.chunks_mut(task))
                 .enumerate()
-                .for_each(|(ti, (rc, ic))| {
-                    let base = ti * task;
-                    for (bi, (rb, ib)) in rc
-                        .chunks_mut(block)
-                        .zip(ic.chunks_mut(block))
-                        .enumerate()
-                    {
-                        apply_block(rb, ib, stride, base + bi * block, &m, ctrl_mask);
-                    }
-                });
+                .map(|(ti, (rc, ic))| (ti, rc, ic))
+                .collect();
+            parallel_for_each(chunks, |(ti, rc, ic)| {
+                let base = ti * task;
+                for (bi, (rb, ib)) in rc
+                    .chunks_mut(block)
+                    .zip(ic.chunks_mut(block))
+                    .enumerate()
+                {
+                    apply_block(rb, ib, stride, base + bi * block, &m, ctrl_mask);
+                }
+            });
         } else if len >= PAR_THRESHOLD {
             // Single block: q is the top local qubit. Parallelise over the
             // zipped lower/upper halves instead.
             let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
             let (rlo, rhi) = self.re.split_at_mut(stride);
             let (ilo, ihi) = self.im.split_at_mut(stride);
-            rlo.par_chunks_mut(HALF_CHUNK)
-                .zip(rhi.par_chunks_mut(HALF_CHUNK))
+            type HalfItem<'a> = (usize, &'a mut [f64], &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+            let chunks: Vec<HalfItem<'_>> = rlo
+                .chunks_mut(HALF_CHUNK)
+                .zip(rhi.chunks_mut(HALF_CHUNK))
                 .zip(
-                    ilo.par_chunks_mut(HALF_CHUNK)
-                        .zip(ihi.par_chunks_mut(HALF_CHUNK)),
+                    ilo.chunks_mut(HALF_CHUNK)
+                        .zip(ihi.chunks_mut(HALF_CHUNK)),
                 )
                 .enumerate()
-                .for_each(|(ci, ((rl, rh), (il, ih)))| {
-                    let base = ci * HALF_CHUNK;
-                    for k in 0..rl.len() {
-                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                            continue;
-                        }
-                        pair_update(
-                            &mut rl[k], &mut il[k], &mut rh[k], &mut ih[k], m00, m01, m10, m11,
-                        );
+                .map(|(ci, ((rl, rh), (il, ih)))| (ci, rl, rh, il, ih))
+                .collect();
+            parallel_for_each(chunks, |(ci, rl, rh, il, ih)| {
+                let base = ci * HALF_CHUNK;
+                for k in 0..rl.len() {
+                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                        continue;
                     }
-                });
+                    pair_update(
+                        &mut rl[k], &mut il[k], &mut rh[k], &mut ih[k], m00, m01, m10, m11,
+                    );
+                }
+            });
         } else {
             for bi in 0..len / block {
                 let lo = bi * block;
@@ -183,19 +193,22 @@ impl AmpStorage for SoaStorage {
     fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync)) {
         let len = self.len();
         if len >= PAR_THRESHOLD {
-            self.re
-                .par_chunks_mut(HALF_CHUNK)
-                .zip(self.im.par_chunks_mut(HALF_CHUNK))
+            let chunks: Vec<(usize, &mut [f64], &mut [f64])> = self
+                .re
+                .chunks_mut(HALF_CHUNK)
+                .zip(self.im.chunks_mut(HALF_CHUNK))
                 .enumerate()
-                .for_each(|(ci, (rc, ic))| {
-                    let base = ci * HALF_CHUNK;
-                    for k in 0..rc.len() {
-                        let p = phase(offset | (base + k) as u64);
-                        let v = Complex64::new(rc[k], ic[k]) * p;
-                        rc[k] = v.re;
-                        ic[k] = v.im;
-                    }
-                });
+                .map(|(ci, (rc, ic))| (ci, rc, ic))
+                .collect();
+            parallel_for_each(chunks, |(ci, rc, ic)| {
+                let base = ci * HALF_CHUNK;
+                for k in 0..rc.len() {
+                    let p = phase(offset | (base + k) as u64);
+                    let v = Complex64::new(rc[k], ic[k]) * p;
+                    rc[k] = v.re;
+                    ic[k] = v.im;
+                }
+            });
         } else {
             for i in 0..len {
                 let p = phase(offset | i as u64);
@@ -231,24 +244,27 @@ impl AmpStorage for SoaStorage {
         let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
         let len = self.len();
         if len >= PAR_THRESHOLD {
-            self.re
-                .par_chunks_mut(HALF_CHUNK)
-                .zip(self.im.par_chunks_mut(HALF_CHUNK))
-                .zip(theirs.par_chunks(HALF_CHUNK * 2))
+            let chunks: Vec<(usize, &mut [f64], &mut [f64], &[f64])> = self
+                .re
+                .chunks_mut(HALF_CHUNK)
+                .zip(self.im.chunks_mut(HALF_CHUNK))
+                .zip(theirs.chunks(HALF_CHUNK * 2))
                 .enumerate()
-                .for_each(|(ci, ((rc, ic), tc))| {
-                    let base = ci * HALF_CHUNK;
-                    for k in 0..rc.len() {
-                        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                            continue;
-                        }
-                        let mine = Complex64::new(rc[k], ic[k]);
-                        let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
-                        let v = c_mine * mine + c_theirs * other;
-                        rc[k] = v.re;
-                        ic[k] = v.im;
+                .map(|(ci, ((rc, ic), tc))| (ci, rc, ic, tc))
+                .collect();
+            parallel_for_each(chunks, |(ci, rc, ic, tc)| {
+                let base = ci * HALF_CHUNK;
+                for k in 0..rc.len() {
+                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
+                        continue;
                     }
-                });
+                    let mine = Complex64::new(rc[k], ic[k]);
+                    let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
+                    let v = c_mine * mine + c_theirs * other;
+                    rc[k] = v.re;
+                    ic[k] = v.im;
+                }
+            });
         } else {
             for i in 0..len {
                 if ctrl_mask != 0 && i as u64 & ctrl_mask == 0 {

@@ -1,0 +1,227 @@
+//! A small timing harness: warmup + median-of-N, JSON output.
+//!
+//! Replaces `criterion` for the workspace's benches. Each measurement
+//! auto-calibrates an iteration count so one sample lasts at least a
+//! few milliseconds, runs a warmup pass, takes N timed samples, and
+//! reports min / median / max per iteration. `finish()` prints a table
+//! and writes `results/bench_<group>.json` (directory overridable with
+//! `QSE_RESULTS_DIR`, like the experiment harness).
+//!
+//! Keep benches honest: wrap inputs and results in
+//! [`std::hint::black_box`] exactly as under criterion.
+
+use crate::json::{Json, ToJson};
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 15;
+
+/// Target wall-clock per sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// One benchmark's collected statistics (seconds per iteration).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name within its group.
+    pub name: String,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest per-iteration time, seconds.
+    pub min_s: f64,
+    /// Median per-iteration time, seconds.
+    pub median_s: f64,
+    /// Slowest per-iteration time, seconds.
+    pub max_s: f64,
+    /// Optional bytes processed per iteration (for throughput).
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl Measurement {
+    /// Median throughput in GiB/s, when a byte count was declared.
+    pub fn gib_per_s(&self) -> Option<f64> {
+        self.bytes_per_iter
+            .map(|b| b as f64 / self.median_s / (1u64 << 30) as f64)
+    }
+}
+
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("iters_per_sample", self.iters_per_sample.to_json()),
+            ("samples", self.samples.to_json()),
+            ("min_s", self.min_s.to_json()),
+            ("median_s", self.median_s.to_json()),
+            ("max_s", self.max_s.to_json()),
+            ("bytes_per_iter", self.bytes_per_iter.to_json()),
+            ("gib_per_s", self.gib_per_s().to_json()),
+        ])
+    }
+}
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`.
+pub struct BenchGroup {
+    group: String,
+    samples: usize,
+    throughput_bytes: Option<u64>,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Starts a group named `group`.
+    pub fn new(group: impl Into<String>) -> Self {
+        BenchGroup {
+            group: group.into(),
+            samples: DEFAULT_SAMPLES,
+            throughput_bytes: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the timed sample count for subsequent benches.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples >= 3, "need at least 3 samples for a median");
+        self.samples = samples;
+        self
+    }
+
+    /// Declares bytes processed per iteration (enables GiB/s reporting).
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Times `f`, auto-calibrating iterations per sample.
+    pub fn bench(&mut self, name: impl Into<String>, mut f: impl FnMut()) -> &mut Self {
+        let name = name.into();
+        // Calibrate: double the iteration count until one batch takes
+        // TARGET_SAMPLE (first call doubles as warmup / lazy init).
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            // Jump straight to the estimated count when we can.
+            let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
+        }
+        // Timed samples.
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            name,
+            iters_per_sample: iters,
+            samples: self.samples,
+            min_s: per_iter[0],
+            median_s: per_iter[per_iter.len() / 2],
+            max_s: per_iter[per_iter.len() - 1],
+            bytes_per_iter: self.throughput_bytes,
+        };
+        print_row(&self.group, &m);
+        self.results.push(m);
+        self
+    }
+
+    /// Prints the summary and writes `results/bench_<group>.json`.
+    /// Returns the measurements for further inspection.
+    pub fn finish(self) -> Vec<Measurement> {
+        let dir = std::env::var_os("QSE_RESULTS_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| "results".into());
+        let path = dir.join(format!("bench_{}.json", self.group));
+        let doc = Json::object([
+            ("group", self.group.to_json()),
+            ("results", self.results.to_json()),
+        ]);
+        if std::fs::create_dir_all(&dir).is_ok() && std::fs::write(&path, doc.pretty()).is_ok() {
+            println!("[saved {}]", path.display());
+        }
+        self.results
+    }
+}
+
+fn print_row(group: &str, m: &Measurement) {
+    let throughput = m
+        .gib_per_s()
+        .map(|g| format!("  {g:8.2} GiB/s"))
+        .unwrap_or_default();
+    println!(
+        "{group}/{name:<28} median {median:>12}  (min {min}, max {max}, {iters} it/sample){throughput}",
+        name = m.name,
+        median = fmt_time(m.median_s),
+        min = fmt_time(m.min_s),
+        max = fmt_time(m.max_s),
+        iters = m.iters_per_sample,
+    );
+}
+
+/// Human-readable seconds with an auto-scaled unit.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let dir = std::env::temp_dir().join("qse_bench_harness_test");
+        std::env::set_var("QSE_RESULTS_DIR", &dir);
+        let mut g = BenchGroup::new("selftest");
+        g.sample_size(3).throughput_bytes(8 * 1024);
+        g.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i * i));
+            }
+            std::hint::black_box(acc);
+        });
+        let results = g.finish();
+        std::env::remove_var("QSE_RESULTS_DIR");
+        assert_eq!(results.len(), 1);
+        let m = &results[0];
+        assert!(m.min_s > 0.0 && m.min_s <= m.median_s && m.median_s <= m.max_s);
+        assert!(m.gib_per_s().unwrap() > 0.0);
+        let written = std::fs::read_to_string(dir.join("bench_selftest.json")).unwrap();
+        assert!(written.contains("\"median_s\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn tiny_sample_size_rejected() {
+        BenchGroup::new("x").sample_size(2);
+    }
+}

@@ -1,0 +1,298 @@
+//! A minimal JSON value type and serializer.
+//!
+//! Experiment records and bench results are written as JSON for
+//! EXPERIMENTS.md; nothing in the workspace parses JSON back, so this
+//! module only serialises. Types opt in by implementing [`ToJson`]
+//! (build a [`Json`] tree), and [`Json::pretty`] renders it with the
+//! same 2-space indentation `serde_json::to_string_pretty` produced, so
+//! existing `results/*.json` diffs stay readable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer (serialised without a decimal point).
+    Int(i64),
+    /// An unsigned integer beyond `i64` range.
+    UInt(u64),
+    /// A double; non-finite values serialise as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Compact one-line rendering.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with 2-space indentation and a trailing newline
+    /// omitted (matching `serde_json::to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Rust's shortest-roundtrip Display; force a decimal
+                    // point so the value re-reads as a float.
+                    let s = format!("{n}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                write_escaped(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, indent, depth + 1)
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree — the workspace's `Serialize`.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                match i64::try_from(*self) {
+                    Ok(i) => Json::Int(i),
+                    Err(_) => Json::UInt(*self as u64),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tojson_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-7).to_string(), "-7");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        assert_eq!(Json::Num(3.0).to_string(), "3.0");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        for v in [0.1, 1e-300, 123456.789, -0.007, 1e21] {
+            let s = Json::Num(v).to_string();
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::Str("a\"b\\c\n\t\u{1}".into()).to_string(),
+            r#""a\"b\\c\n\t\u0001""#
+        );
+    }
+
+    #[test]
+    fn compact_nesting() {
+        let j = Json::object([
+            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("name", Json::Str("qft".into())),
+        ]);
+        assert_eq!(j.to_string(), r#"{"xs":[1,2],"name":"qft"}"#);
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_shape() {
+        let j = Json::object([("x", Json::Int(7))]);
+        assert_eq!(j.pretty(), "{\n  \"x\": 7\n}");
+        let arr = Json::Arr(vec![Json::object([("a", Json::Bool(false))])]);
+        assert_eq!(arr.pretty(), "[\n  {\n    \"a\": false\n  }\n]");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::object::<&str, _>([]).pretty(), "{}");
+    }
+
+    #[test]
+    fn tojson_impls_compose() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.to_json().to_string(), "[1,2,3]");
+        let m: BTreeMap<u64, usize> = [(3u64, 10usize), (1, 20)].into();
+        assert_eq!(m.to_json().to_string(), r#"{"1":20,"3":10}"#);
+        assert_eq!(None::<f64>.to_json().to_string(), "null");
+        assert_eq!(Some("hi").to_json().to_string(), "\"hi\"");
+        assert_eq!(u64::MAX.to_json().to_string(), "18446744073709551615");
+    }
+}

@@ -1,0 +1,151 @@
+//! Scoped-thread data parallelism for the statevector kernels.
+//!
+//! Replaces Rayon's `par_chunks_mut` pattern with the one shape the
+//! kernels actually need: a list of independent work items (disjoint
+//! mutable chunk views), drained by a small pool of scoped threads
+//! through a shared cursor. Work items are coarse (kernels batch ≥ 4096
+//! amplitudes per item), so the per-item `Mutex` on the cursor is noise
+//! next to the memory sweep it dispatches.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Worker-thread count: `QSE_THREADS` if set (≥ 1), else the machine's
+/// available parallelism. Read once per process.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("QSE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Runs `f` over every item on a pool of scoped threads.
+///
+/// Items are handed out through a shared cursor, so a slow item does not
+/// stall the rest of the list (dynamic load balancing, like Rayon's
+/// work stealing at chunk granularity). Falls back to a sequential loop
+/// for a single item or a single-thread pool.
+///
+/// Panics in `f` propagate to the caller after all threads stop.
+pub fn parallel_for_each<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+    let n_threads = num_threads().min(items.len());
+    if n_threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    let f = &f;
+    let queue = &queue;
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(move || loop {
+                // Take the lock only to pop; run the item outside it.
+                let item = queue.lock().expect("queue poisoned").next();
+                match item {
+                    Some(it) => f(it),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Maps every item to an `f64` and returns the sum.
+///
+/// Summation order is deterministic (partial sums are combined in item
+/// order), so repeated runs on the same data agree bit-for-bit.
+pub fn parallel_map_sum<T: Send>(items: Vec<T>, f: impl Fn(T) -> f64 + Sync) -> f64 {
+    let n = items.len();
+    let slots: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let slots_ref = &slots;
+    let f = &f;
+    parallel_for_each(indexed, move |(i, item)| {
+        *slots_ref[i].lock().expect("slot poisoned") = f(item);
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot poisoned"))
+        .sum()
+}
+
+/// Picks a work-item length for splitting `len` elements: roughly four
+/// items per worker thread for load balancing, but never below
+/// `min_chunk` (kernels choose `min_chunk` so per-item overhead stays
+/// negligible).
+pub fn chunk_len(len: usize, min_chunk: usize) -> usize {
+    let target = len.div_ceil(num_threads() * 4);
+    target.max(min_chunk).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let n = 1000;
+        let flags: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        parallel_for_each(items, |i| {
+            flags[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn mutates_disjoint_chunks() {
+        let mut data = vec![0u64; 4096];
+        let chunks: Vec<(usize, &mut [u64])> =
+            data.chunks_mut(64).enumerate().collect();
+        parallel_for_each(chunks, |(ci, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 64 + k) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn map_sum_is_exact_and_order_stable() {
+        let items: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let total = parallel_map_sum(items.clone(), |x| x);
+        assert_eq!(total, 5050.0);
+        let again = parallel_map_sum(items, |x| x);
+        assert_eq!(total, again);
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        parallel_for_each(Vec::<u32>::new(), |_| panic!("no items"));
+        let hit = AtomicUsize::new(0);
+        parallel_for_each(vec![7u32], |v| {
+            assert_eq!(v, 7);
+            hit.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert_eq!(parallel_map_sum(Vec::<f64>::new(), |x| x), 0.0);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_len_respects_minimum() {
+        assert!(chunk_len(1 << 20, 4096) >= 4096);
+        assert!(chunk_len(10, 4096) >= 4096);
+        assert!(chunk_len(0, 1) >= 1);
+    }
+}

@@ -8,8 +8,7 @@
 use qse::circuit::algorithms::{grover, grover_optimal_iterations};
 use qse::prelude::*;
 use qse::statevec::measure::sample_counts;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qse::util::rng::StdRng;
 
 fn main() {
     let n = 12u32;

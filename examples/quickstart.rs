@@ -6,8 +6,7 @@
 
 use qse::prelude::*;
 use qse::statevec::measure::sample_counts;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qse::util::rng::StdRng;
 
 fn main() {
     // 1. Build a circuit: a GHZ state on 10 qubits followed by a QFT.

@@ -34,6 +34,11 @@
 //! | [`statevec`] | `qse-statevec` | local + distributed statevector engine |
 //! | [`machine`] | `qse-machine` | calibrated ARCHER2 time/energy model |
 //! | [`core`] | `qse-core` | executors, profiling, experiment harness |
+//! | [`util`] | `qse-util` | std-only PRNG, JSON, thread pool, channels |
+//!
+//! The workspace is hermetic: every dependency is an in-tree path crate,
+//! so a cold-cache `cargo build --offline` succeeds with no registry
+//! access.
 
 pub use qse_circuit as circuit;
 pub use qse_comm as comm;
@@ -41,6 +46,7 @@ pub use qse_core as core;
 pub use qse_machine as machine;
 pub use qse_math as math;
 pub use qse_statevec as statevec;
+pub use qse_util as util;
 
 /// Convenience re-exports covering the typical session.
 pub mod prelude {

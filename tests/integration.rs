@@ -164,8 +164,7 @@ fn grover_finds_the_marked_state() {
 #[test]
 fn unitary2_all_distribution_regimes() {
     use qse::circuit::random::random_unitary2;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut rng = qse::util::rng::StdRng::seed_from_u64(17);
     let n = 6u32;
     let ranks = 8u64; // locals: 0..2, globals: 3..5
     for (a, b) in [(0u32, 2u32), (1, 4), (4, 1), (3, 5), (5, 3)] {

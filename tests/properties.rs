@@ -1,178 +1,128 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-based tests on the core invariants.
 //!
-//! Strategy-generated circuits, layouts and storage contents; each
-//! property encodes an invariant the paper's correctness rests on.
+//! Seeded in-tree property loops (`qse::util::check`): each case draws a
+//! random circuit or input from a deterministic seed stream, and a
+//! failure report names the `(seed, size)` pair that reproduces it.
+//! Each property encodes an invariant the paper's correctness rests on.
 
-use proptest::prelude::*;
+use qse::circuit::random::{random_circuit, GatePool};
 use qse::math::approx::{max_deviation, slices_close};
 use qse::math::bits;
 use qse::math::Complex64;
 use qse::prelude::*;
 use qse::statevec::reference::ReferenceState;
 use qse::statevec::storage::{AmpStorage, AosStorage, SoaStorage};
+use qse::util::check::{check, check_with_size};
+use qse::util::rng::Rng;
 
-/// A strategy for gates over `n` qubits.
-fn gate_strategy(n: u32) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let theta = -3.1f64..3.1;
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::Y),
-        q.clone().prop_map(Gate::Z),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::T),
-        (q.clone(), theta.clone()).prop_map(|(target, theta)| Gate::Phase { target, theta }),
-        (q.clone(), theta.clone()).prop_map(|(target, theta)| Gate::Rx { target, theta }),
-        (0..n, 0..n - 1).prop_map(move |(a, mut b)| {
-            if b >= a {
-                b += 1;
-            }
-            Gate::CNot {
-                control: a,
-                target: b,
-            }
-        }),
-        (0..n, 0..n - 1, theta.clone()).prop_map(move |(a, mut b, theta)| {
-            if b >= a {
-                b += 1;
-            }
-            Gate::CPhase { a, b, theta }
-        }),
-        (0..n, 0..n - 1).prop_map(move |(a, mut b)| {
-            if b >= a {
-                b += 1;
-            }
-            Gate::Swap(a, b)
-        }),
-        (0..n, 0..n - 1, theta.clone()).prop_map(move |(a, mut b, theta)| {
-            if b >= a {
-                b += 1;
-            }
-            Gate::MCPhase {
-                qubits: vec![a, b],
-                theta,
-            }
-        }),
-        (0..n, 0..n - 1, any::<u64>()).prop_map(move |(c, mut t, seed)| {
-            if t >= c {
-                t += 1;
-            }
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            Gate::CUnitary {
-                control: c,
-                target: t,
-                matrix: qse::circuit::random::random_unitary1(&mut rng),
-            }
-        }),
-        (0..n, 0..n - 1, any::<u64>()).prop_map(move |(a, mut b, seed)| {
-            if b >= a {
-                b += 1;
-            }
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            Gate::Unitary2 {
-                a,
-                b,
-                matrix: qse::circuit::random::random_unitary2(&mut rng),
-            }
-        }),
-    ]
+/// Draws a circuit over `n` qubits with `size` gates from the full pool.
+fn draw_circuit(rng: &mut impl Rng, n: u32, size: usize) -> Circuit {
+    random_circuit(n, size.max(1), GatePool::Full, rng.next_u64())
 }
 
-fn circuit_strategy(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(gate_strategy(n), 1..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        for g in gates {
-            c.push(g);
-        }
-        c
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Unitarity: every circuit preserves the norm.
-    #[test]
-    fn circuits_preserve_norm(c in circuit_strategy(6, 40)) {
+/// Unitarity: every circuit preserves the norm.
+#[test]
+fn circuits_preserve_norm() {
+    check_with_size(48, 40, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
         let s = LocalExecutor::run(&c);
-        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
-    }
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Invertibility: C then C⁻¹ restores the initial basis state.
-    #[test]
-    fn inverse_restores_state(c in circuit_strategy(5, 30), basis in 0u64..32) {
+/// Invertibility: C then C⁻¹ restores the initial basis state.
+#[test]
+fn inverse_restores_state() {
+    check_with_size(48, 30, |rng, size| {
+        let c = draw_circuit(rng, 5, size);
+        let basis = rng.random_range(0u64..32);
         let full = c.then(&c.inverse());
         let mut s = ReferenceState::basis_state(5, basis);
         s.run(&full);
-        prop_assert!((s.amplitudes()[basis as usize].re - 1.0).abs() < 1e-9);
-        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
-    }
+        assert!((s.amplitudes()[basis as usize].re - 1.0).abs() < 1e-9);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// The production engine agrees with the naïve reference on every
-    /// circuit.
-    #[test]
-    fn engine_matches_reference(c in circuit_strategy(6, 40)) {
+/// The production engine agrees with the naïve reference on every
+/// circuit.
+#[test]
+fn engine_matches_reference() {
+    check_with_size(48, 40, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
         let got = LocalExecutor::run(&c);
         let want = ReferenceState::simulate(&c);
-        prop_assert!(slices_close(&got.to_vec(), want.amplitudes(), 1e-9),
-            "max dev {}", max_deviation(&got.to_vec(), want.amplitudes()));
-    }
+        assert!(
+            slices_close(&got.to_vec(), want.amplitudes(), 1e-9),
+            "max dev {}",
+            max_deviation(&got.to_vec(), want.amplitudes())
+        );
+    });
+}
 
-    /// Both storage layouts produce identical amplitudes.
-    #[test]
-    fn layouts_agree(c in circuit_strategy(6, 40)) {
+/// Both storage layouts produce identical amplitudes.
+#[test]
+fn layouts_agree() {
+    check_with_size(48, 40, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
         let mut soa: SingleState<SoaStorage> = SingleState::zero_state(6);
         let mut aos: SingleState<AosStorage> = SingleState::zero_state(6);
         soa.run(&c);
         aos.run(&c);
-        prop_assert!(slices_close(&soa.to_vec(), &aos.to_vec(), 1e-12));
-    }
+        assert!(slices_close(&soa.to_vec(), &aos.to_vec(), 1e-12));
+    });
+}
 
-    /// Distribution is transparent: 4-rank execution equals the
-    /// reference, for any circuit and any exchange configuration.
-    #[test]
-    fn distribution_is_transparent(
-        c in circuit_strategy(6, 25),
-        non_blocking in any::<bool>(),
-        half in any::<bool>(),
-        chunk in prop_oneof![Just(64usize), Just(1024), Just(1 << 20)],
-    ) {
+/// Distribution is transparent: 4-rank execution equals the reference,
+/// for any circuit and any exchange configuration.
+#[test]
+fn distribution_is_transparent() {
+    check_with_size(48, 25, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
         let mut cfg = SimConfig::default_for(4);
-        cfg.non_blocking = non_blocking;
-        cfg.half_exchange_swaps = half;
-        cfg.max_message_bytes = chunk;
+        cfg.non_blocking = rng.random_bool(0.5);
+        cfg.half_exchange_swaps = rng.random_bool(0.5);
+        cfg.max_message_bytes = [64usize, 1024, 1 << 20][rng.random_range(0..3usize)];
         let run = ThreadClusterExecutor::run(&c, &cfg, 0, true);
         let want = ReferenceState::simulate(&c);
-        prop_assert!(slices_close(&run.state.unwrap(), want.amplitudes(), 1e-9));
-    }
+        assert!(slices_close(&run.state.unwrap(), want.amplitudes(), 1e-9));
+    });
+}
 
-    /// Diagonal sinking preserves semantics and never shrinks the
-    /// fusable gate count.
-    #[test]
-    fn sinking_is_safe(c in circuit_strategy(6, 40)) {
-        use qse::circuit::transpile::scheduling::{fusable_gate_count, sink_diagonals};
+/// Diagonal sinking preserves semantics and never shrinks the fusable
+/// gate count.
+#[test]
+fn sinking_is_safe() {
+    use qse::circuit::transpile::scheduling::{fusable_gate_count, sink_diagonals};
+    check_with_size(48, 40, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
         let s = sink_diagonals(&c);
         let want = ReferenceState::simulate(&c);
         let got = ReferenceState::simulate(&s);
-        prop_assert!(slices_close(got.amplitudes(), want.amplitudes(), 1e-9));
-        prop_assert!(fusable_gate_count(&s, 2) >= fusable_gate_count(&c, 2));
-    }
+        assert!(slices_close(got.amplitudes(), want.amplitudes(), 1e-9));
+        assert!(fusable_gate_count(&s, 2) >= fusable_gate_count(&c, 2));
+    });
+}
 
-    /// Fusion never changes semantics.
-    #[test]
-    fn fusion_is_semantics_preserving(c in circuit_strategy(6, 40), min_fuse in 1usize..6) {
+/// Fusion never changes semantics.
+#[test]
+fn fusion_is_semantics_preserving() {
+    check_with_size(48, 40, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
+        let min_fuse = rng.random_range(1usize..6);
         let plain = LocalExecutor::run(&c);
         let fused = LocalExecutor::run_fused(&c, 0, min_fuse);
-        prop_assert!(slices_close(&plain.to_vec(), &fused.to_vec(), 1e-9));
-    }
+        assert!(slices_close(&plain.to_vec(), &fused.to_vec(), 1e-9));
+    });
+}
 
-    /// The cache-blocking transpiler preserves the operator up to its
-    /// reported layout permutation.
-    #[test]
-    fn transpiler_contract(c in circuit_strategy(6, 30), local in 2u32..6) {
+/// The cache-blocking transpiler preserves the operator up to its
+/// reported layout permutation.
+#[test]
+fn transpiler_contract() {
+    check_with_size(48, 30, |rng, size| {
+        let c = draw_circuit(rng, 6, size);
+        let local = rng.random_range(2u32..6);
         let t = cache_block(&c, local);
         let orig = ReferenceState::simulate(&c);
         let got = ReferenceState::simulate(&t.circuit);
@@ -180,32 +130,37 @@ proptest! {
         for (i, amp) in orig.amplitudes().iter().enumerate() {
             let j = t.layout.permute_index(i as u64) as usize;
             let d = (got.amplitudes()[j] - *amp).abs();
-            prop_assert!(d < 1e-9, "index {i}→{j} dev {d}");
+            assert!(d < 1e-9, "index {i}→{j} dev {d}");
         }
-    }
+    });
+}
 
-    /// Every cache-blocked QFT split is the same operator.
-    #[test]
-    fn cache_blocked_qft_split_invariance(n in 2u32..9, basis_seed in any::<u64>()) {
-        let basis = basis_seed % (1u64 << n);
+/// Every cache-blocked QFT split is the same operator.
+#[test]
+fn cache_blocked_qft_split_invariance() {
+    check(48, |rng| {
+        let n = rng.random_range(2u32..9);
+        let basis = rng.next_u64() % (1u64 << n);
         let mut want = ReferenceState::basis_state(n, basis);
         want.run(&qft(n));
         for split in 0..=n {
             let mut got = ReferenceState::basis_state(n, basis);
             got.run(&cache_blocked_qft(n, split));
-            prop_assert!(slices_close(got.amplitudes(), want.amplitudes(), 1e-9));
+            assert!(slices_close(got.amplitudes(), want.amplitudes(), 1e-9));
         }
-    }
+    });
+}
 
-    /// Storage half-bit marshalling round-trips for arbitrary contents.
-    #[test]
-    fn half_bit_round_trip(
-        values in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 16),
-        q in 0u32..4,
-    ) {
+/// Storage half-bit marshalling round-trips for arbitrary contents.
+#[test]
+fn half_bit_round_trip() {
+    check(48, |rng| {
+        let q = rng.random_range(0u32..4);
         let mut s = SoaStorage::zeros(16);
-        for (i, (re, im)) in values.iter().enumerate() {
-            s.set(i, Complex64::new(*re, *im));
+        for i in 0..16 {
+            let re = rng.random_range(-1.0..1.0);
+            let im = rng.random_range(-1.0..1.0);
+            s.set(i, Complex64::new(re, im));
         }
         let h0 = s.extract_half_bit(q, 0);
         let h1 = s.extract_half_bit(q, 1);
@@ -213,38 +168,41 @@ proptest! {
         t.write_half_bit(q, 0, &h0);
         t.write_half_bit(q, 1, &h1);
         for i in 0..16 {
-            prop_assert_eq!(t.get(i), s.get(i));
+            assert_eq!(t.get(i), s.get(i));
         }
-    }
+    });
+}
 
-    /// Bit utilities: insert_zero_bit enumerates exactly the indices with
-    /// bit q clear, in order.
-    #[test]
-    fn insert_zero_bit_enumeration(q in 0u32..8) {
+/// Bit utilities: insert_zero_bit enumerates exactly the indices with
+/// bit q clear, in order.
+#[test]
+fn insert_zero_bit_enumeration() {
+    check(48, |rng| {
+        let q = rng.random_range(0u32..8);
         let expected: Vec<u64> = (0..256u64).filter(|i| bits::bit(*i, q) == 0).collect();
         let got: Vec<u64> = (0..128u64).map(|k| bits::insert_zero_bit(k, q)).collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Permutation index mapping is a bijection consistent with compose.
-    #[test]
-    fn permutation_bijection(seed in any::<u64>()) {
-        use qse::circuit::Permutation;
+/// Permutation index mapping is a bijection consistent with compose.
+#[test]
+fn permutation_bijection() {
+    use qse::circuit::Permutation;
+    check(48, |rng| {
         // build a pseudo-random permutation of 6 labels
         let mut map: Vec<u32> = (0..6).collect();
-        let mut s = seed;
         for i in (1..map.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            map.swap(i, (s % (i as u64 + 1)) as usize);
+            map.swap(i, rng.random_range(0..i + 1));
         }
         let p = Permutation::from_map(map);
         let mut seen = std::collections::HashSet::new();
         for i in 0..64u64 {
-            prop_assert!(seen.insert(p.permute_index(i)));
+            assert!(seen.insert(p.permute_index(i)));
         }
         let inv = p.inverse();
         for i in 0..64u64 {
-            prop_assert_eq!(inv.permute_index(p.permute_index(i)), i);
+            assert_eq!(inv.permute_index(p.permute_index(i)), i);
         }
-    }
+    });
 }
