@@ -55,6 +55,18 @@ pub fn f64s_to_bytes(values: &[f64]) -> Bytes {
     Bytes::from(buf)
 }
 
+/// Encodes `values` into a caller-provided byte buffer (cleared first),
+/// reusing its capacity — the allocation-free staging half of the
+/// exchange hot path (the copy into owned [`Bytes`] happens once, at
+/// send time, as with any eager-protocol MPI send).
+pub fn f64s_to_bytes_into(values: &[f64], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
 /// Decodes a byte payload produced by [`f64s_to_bytes`].
 ///
 /// # Panics
@@ -127,6 +139,19 @@ mod tests {
         let mut out = vec![0.0; 3];
         bytes_to_f64s_into(&bytes, &mut out);
         assert_eq!(out, values);
+    }
+
+    #[test]
+    fn encode_into_buffer_reuses_capacity() {
+        let values = vec![-0.5, 7.25, f64::MAX];
+        let mut buf = vec![0xAAu8; 64];
+        let cap = buf.capacity();
+        f64s_to_bytes_into(&values, &mut buf);
+        assert_eq!(&buf[..], &f64s_to_bytes(&values)[..]);
+        assert_eq!(buf.capacity(), cap);
+        // and shrinking inputs still produce exact-length output
+        f64s_to_bytes_into(&[], &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

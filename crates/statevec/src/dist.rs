@@ -16,14 +16,15 @@
 //! exchange* (§4): only the amplitudes whose swap bits differ move, which
 //! halves both traffic and buffer requirements.
 
-use crate::diagonal::{diagonal_phase, fused_phase};
+use crate::diagonal::{diagonal_phase, CompiledDiagonal};
+use crate::single::DEFAULT_MIN_FUSE;
 use crate::storage::{init_basis, AmpStorage, SoaStorage};
 use qse_circuit::classify::{classify, GateClass, Layout};
 use qse_circuit::transpile::fusion::{fused_schedule, ScheduleStep};
 use qse_circuit::{Circuit, Gate};
 use qse_comm::chunking::{exchange, ChunkPolicy, ExchangeMode};
 use qse_comm::collective;
-use qse_comm::message::{bytes_to_f64s, f64s_to_bytes};
+use qse_comm::message::{bytes_to_f64s, bytes_to_f64s_into, f64s_to_bytes, f64s_to_bytes_into};
 use qse_comm::{Communicator, TrafficStats};
 use qse_math::bits;
 use qse_math::Complex64;
@@ -40,7 +41,9 @@ pub struct DistConfig {
     /// Use the half exchange for distributed SWAPs (§4 future work).
     pub half_exchange_swaps: bool,
     /// Fuse runs of ≥ this many diagonal gates into one sweep in
-    /// [`DistributedState::run`]; `None` disables fusion.
+    /// [`DistributedState::run`]; `None` disables fusion. Defaults to
+    /// [`DEFAULT_MIN_FUSE`]: the real engine executes the same fused
+    /// schedule the analytic model prices.
     pub min_fuse: Option<usize>,
 }
 
@@ -50,7 +53,7 @@ impl Default for DistConfig {
             exchange_mode: ExchangeMode::Blocking,
             chunk_policy: ChunkPolicy::new(1 << 20).expect("nonzero"),
             half_exchange_swaps: false,
-            min_fuse: None,
+            min_fuse: Some(DEFAULT_MIN_FUSE),
         }
     }
 }
@@ -63,6 +66,15 @@ pub struct DistributedState<'c, S: AmpStorage = SoaStorage> {
     amps: S,
     config: DistConfig,
     exchange_seq: u64,
+    // Scratch buffers for the exchange hot path: every distributed gate
+    // reuses these instead of allocating fresh vectors (§2.1's "entire
+    // local statevector" amounts to gigabytes per process at scale, so
+    // per-gate allocation and copy churn is real money). `recv_f64` is
+    // lent to callers via `mem::take` and handed back after the combine.
+    send_f64: Vec<f64>,
+    send_bytes: Vec<u8>,
+    recv_bytes: Vec<u8>,
+    recv_f64: Vec<f64>,
 }
 
 /// User exchange tags must stay below `2^31` (see `qse_comm::chunking`).
@@ -91,6 +103,10 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             amps,
             config,
             exchange_seq: 0,
+            send_f64: Vec::new(),
+            send_bytes: Vec::new(),
+            recv_bytes: Vec::new(),
+            recv_f64: Vec::new(),
         }
     }
 
@@ -136,40 +152,51 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// Full pairwise exchange: ship the entire local vector to `peer`,
     /// receive theirs — "the entire local statevector needs to be
     /// exchanged – 64 GB per process on ARCHER2" (§2.1).
+    ///
+    /// Allocation-free after warm-up: stages through the per-state
+    /// scratch buffers. The returned vector is the `recv_f64` scratch,
+    /// taken with `mem::take` — callers hand it back via
+    /// [`Self::release_recv`] once the combine is done.
     fn exchange_full(&mut self, peer: usize, tag: u64) -> Vec<f64> {
-        let send = f64s_to_bytes(&self.amps.to_f64_vec());
-        let mut recv = Vec::with_capacity(send.len());
-        exchange(
-            self.config.exchange_mode,
-            self.comm,
-            peer,
-            tag,
-            &send,
-            &mut recv,
-            send.len(),
-            self.config.chunk_policy,
-        )
-        .expect("exchange failed");
-        bytes_to_f64s(&recv)
+        self.amps.write_f64_into(&mut self.send_f64);
+        self.staged_exchange(peer, tag)
     }
 
     /// Half exchange for SWAPs: ship only the amplitudes whose `local_q`
-    /// bit equals `send_v`; receive the peer's complementary half.
+    /// bit equals `send_v`; receive the peer's complementary half. Same
+    /// scratch-buffer protocol as [`Self::exchange_full`].
     fn exchange_half(&mut self, peer: usize, tag: u64, local_q: u32, send_v: u64) -> Vec<f64> {
-        let send = f64s_to_bytes(&self.amps.extract_half_bit(local_q, send_v));
-        let mut recv = Vec::with_capacity(send.len());
+        self.amps
+            .extract_half_bit_into(local_q, send_v, &mut self.send_f64);
+        self.staged_exchange(peer, tag)
+    }
+
+    /// Ships whatever `exchange_full`/`exchange_half` staged in
+    /// `send_f64` and decodes the peer's reply into the `recv_f64`
+    /// scratch (lent out; return it with [`Self::release_recv`]).
+    fn staged_exchange(&mut self, peer: usize, tag: u64) -> Vec<f64> {
+        f64s_to_bytes_into(&self.send_f64, &mut self.send_bytes);
         exchange(
             self.config.exchange_mode,
             self.comm,
             peer,
             tag,
-            &send,
-            &mut recv,
-            send.len(),
+            &self.send_bytes,
+            &mut self.recv_bytes,
+            self.send_bytes.len(),
             self.config.chunk_policy,
         )
         .expect("exchange failed");
-        bytes_to_f64s(&recv)
+        let mut out = std::mem::take(&mut self.recv_f64);
+        out.resize(self.recv_bytes.len() / 8, 0.0);
+        bytes_to_f64s_into(&self.recv_bytes, &mut out);
+        out
+    }
+
+    /// Returns the receive scratch lent out by an exchange so the next
+    /// distributed gate reuses its capacity.
+    fn release_recv(&mut self, buf: Vec<f64>) {
+        self.recv_f64 = buf;
     }
 
     /// Applies one gate, communicating as its locality class requires.
@@ -249,6 +276,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         let b = self.rank_bit_value(target) as usize;
         self.amps
             .combine_rows(m.at(b, b), m.at(b, 1 - b), &theirs, control_local);
+        self.release_recv(theirs);
     }
 
     /// Distributed general two-qubit unitary.
@@ -274,6 +302,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             let pair = self.layout.pair_rank(self.rank() as u64, hi) as usize;
             let theirs = self.exchange_full(pair, tag);
             self.amps.combine_orbit4(lo, g, &m_ord, &theirs);
+            self.release_recv(theirs);
         } else {
             // Both global: bring `lo` into the local window via a free
             // local qubit (qubit 0 is never one of a/b here), using the
@@ -307,6 +336,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 // into our bit_lo == 1−g slots.
                 let recv = self.exchange_half(pair, tag, lo, 1 - g);
                 self.amps.write_half_bit(lo, 1 - g, &recv);
+                self.release_recv(recv);
             } else {
                 // QuEST-style: exchange everything, use half of it.
                 let theirs = self.exchange_full(pair, tag);
@@ -319,6 +349,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                         Complex64::new(theirs[2 * src], theirs[2 * src + 1]),
                     );
                 }
+                self.release_recv(theirs);
             }
         } else {
             // Both qubits global: ranks whose two address bits differ
@@ -333,6 +364,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             let pair = (self.rank() as u64 ^ mask) as usize;
             let theirs = self.exchange_full(pair, tag);
             self.amps.copy_from_f64(&theirs);
+            self.release_recv(theirs);
         }
     }
 
@@ -355,8 +387,9 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                     match step {
                         ScheduleStep::Single(i) => self.apply(&circuit.gates()[i]),
                         ScheduleStep::Fused(run) => {
-                            let gates = &circuit.gates()[run.start..run.end];
-                            self.amps.apply_phase_fn(offset, &|i| fused_phase(gates, i));
+                            let compiled =
+                                CompiledDiagonal::compile(&circuit.gates()[run.start..run.end]);
+                            self.amps.apply_fused_diagonal(offset, &compiled);
                         }
                     }
                 }
@@ -635,18 +668,24 @@ mod tests {
 
     #[test]
     fn fusion_matches_unfused_distributed() {
+        // The default config fuses; against an explicitly unfused run the
+        // contract is bit-for-bit equality, not closeness.
         let c = random_circuit(7, 80, GatePool::Full, 21);
-        let plain = simulate_dist(&c, 4, DistConfig::default(), 0);
-        let fused = simulate_dist(
+        let plain = simulate_dist(
             &c,
             4,
             DistConfig {
-                min_fuse: Some(2),
+                min_fuse: None,
                 ..DistConfig::default()
             },
             0,
         );
-        assert_slices_close(&plain, &fused, 1e-12);
+        let fused = simulate_dist(&c, 4, DistConfig::default(), 0);
+        assert_eq!(plain.len(), fused.len());
+        for (i, (p, f)) in plain.iter().zip(&fused).enumerate() {
+            assert_eq!(p.re.to_bits(), f.re.to_bits(), "re at {i}");
+            assert_eq!(p.im.to_bits(), f.im.to_bits(), "im at {i}");
+        }
     }
 
     #[test]

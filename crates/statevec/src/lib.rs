@@ -36,5 +36,5 @@ pub mod single;
 pub mod storage;
 
 pub use dist::{DistConfig, DistributedState};
-pub use single::SingleState;
+pub use single::{SingleState, DEFAULT_MIN_FUSE};
 pub use storage::{AmpStorage, AosStorage, SoaStorage};

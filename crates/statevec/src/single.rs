@@ -4,11 +4,17 @@
 //! layout/fusion benchmarks, and the reference experiments on one "node".
 //! Generic over the amplitude [`storage`](crate::storage) layout.
 
-use crate::diagonal::{diagonal_phase, fused_phase};
+use crate::diagonal::{diagonal_phase, CompiledDiagonal};
 use crate::storage::{init_basis, AmpStorage, SoaStorage};
 use qse_circuit::transpile::fusion::{fused_schedule, ScheduleStep};
 use qse_circuit::{Circuit, Gate};
 use qse_math::Complex64;
+
+/// Default fusion threshold for the real engines: every diagonal gate
+/// already costs a full sweep here, so fusing any run of ≥ 2 strictly
+/// removes sweeps (unlike QuEST's quarter-sweep controlled phases, where
+/// the model's break-even sits near 4).
+pub const DEFAULT_MIN_FUSE: usize = 2;
 
 /// A full statevector in one address space over storage layout `S`.
 #[derive(Debug, Clone)]
@@ -81,8 +87,18 @@ impl<S: AmpStorage> SingleState<S> {
         }
     }
 
-    /// Runs a circuit gate by gate (no fusion).
+    /// Runs a circuit through the fused schedule ([`fused_schedule`] at
+    /// [`DEFAULT_MIN_FUSE`]): runs of consecutive diagonal gates execute
+    /// as single sweeps — the same schedule the analytic model prices.
+    /// Bit-for-bit identical to [`Self::run_unfused`].
     pub fn run(&mut self, circuit: &Circuit) {
+        self.run_fused(circuit, DEFAULT_MIN_FUSE);
+    }
+
+    /// Runs a circuit gate by gate (no fusion) — one sweep per gate. The
+    /// baseline the measured-fusion ablation and the equivalence property
+    /// tests compare against.
+    pub fn run_unfused(&mut self, circuit: &Circuit) {
         assert_eq!(circuit.n_qubits(), self.n_qubits, "width mismatch");
         for g in circuit.gates() {
             self.apply(g);
@@ -91,15 +107,17 @@ impl<S: AmpStorage> SingleState<S> {
 
     /// Runs a circuit with maximal diagonal runs (≥ `min_fuse` gates)
     /// applied as single fused sweeps — QuEST's efficient controlled-phase
-    /// path. Semantically identical to [`Self::run`].
+    /// path, executed rather than modeled. Semantically identical to
+    /// [`Self::run_unfused`].
     pub fn run_fused(&mut self, circuit: &Circuit, min_fuse: usize) {
         assert_eq!(circuit.n_qubits(), self.n_qubits, "width mismatch");
         for step in fused_schedule(circuit, min_fuse) {
             match step {
                 ScheduleStep::Single(i) => self.apply(&circuit.gates()[i]),
                 ScheduleStep::Fused(run) => {
-                    let gates = &circuit.gates()[run.start..run.end];
-                    self.amps.apply_phase_fn(0, &|i| fused_phase(gates, i));
+                    let compiled =
+                        CompiledDiagonal::compile(&circuit.gates()[run.start..run.end]);
+                    self.amps.apply_fused_diagonal(0, &compiled);
                 }
             }
         }
@@ -181,11 +199,28 @@ mod tests {
         for seed in 0..4 {
             let c = random_circuit(6, 150, GatePool::Full, seed + 100);
             let mut plain: SingleState = SingleState::zero_state(6);
-            plain.run(&c);
+            plain.run_unfused(&c);
             for min_fuse in [1, 2, 4] {
                 let mut fused: SingleState = SingleState::zero_state(6);
                 fused.run_fused(&c, min_fuse);
                 assert_slices_close(&fused.to_vec(), &plain.to_vec(), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn default_run_is_bitwise_identical_to_unfused() {
+        // `run` now executes the fused schedule; the contract is bit-for-
+        // bit equality with gate-at-a-time execution, not mere closeness.
+        for seed in 0..4 {
+            let c = random_circuit(7, 200, GatePool::QftLike, seed + 300);
+            let mut fused: SingleState = SingleState::basis_state(7, 45);
+            fused.run(&c);
+            let mut plain: SingleState = SingleState::basis_state(7, 45);
+            plain.run_unfused(&c);
+            for (i, (f, p)) in fused.to_vec().iter().zip(plain.to_vec()).enumerate() {
+                assert_eq!(f.re.to_bits(), p.re.to_bits(), "re at {i} seed {seed}");
+                assert_eq!(f.im.to_bits(), p.im.to_bits(), "im at {i} seed {seed}");
             }
         }
     }

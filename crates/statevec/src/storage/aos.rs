@@ -7,6 +7,7 @@
 //! apart streams.
 
 use super::{AmpStorage, PAR_THRESHOLD};
+use crate::diagonal::CompiledDiagonal;
 use qse_math::bits;
 use qse_math::{Complex64, Matrix2};
 use qse_util::parallel::{parallel_for_each, parallel_map_sum};
@@ -121,6 +122,23 @@ impl AmpStorage for AosStorage {
         }
     }
 
+    fn apply_fused_diagonal(&mut self, offset: u64, run: &CompiledDiagonal) {
+        if self.len() >= PAR_THRESHOLD {
+            let chunks: Vec<(usize, &mut [Complex64])> =
+                self.amps.chunks_mut(HALF_CHUNK).enumerate().collect();
+            parallel_for_each(chunks, |(ci, chunk)| {
+                let base = ci * HALF_CHUNK;
+                for (k, a) in chunk.iter_mut().enumerate() {
+                    *a = run.apply(offset | (base + k) as u64, *a);
+                }
+            });
+        } else {
+            for (i, a) in self.amps.iter_mut().enumerate() {
+                *a = run.apply(offset | i as u64, *a);
+            }
+        }
+    }
+
     fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync)) {
         if self.len() >= PAR_THRESHOLD {
             let chunks: Vec<(usize, &mut [Complex64])> =
@@ -187,13 +205,13 @@ impl AmpStorage for AosStorage {
         }
     }
 
-    fn to_f64_vec(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.len() * 2);
+    fn write_f64_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len() * 2);
         for a in &self.amps {
             out.push(a.re);
             out.push(a.im);
         }
-        out
     }
 
     fn copy_from_f64(&mut self, data: &[f64]) {
@@ -203,15 +221,15 @@ impl AmpStorage for AosStorage {
         }
     }
 
-    fn extract_half_bit(&self, q: u32, v: u64) -> Vec<f64> {
+    fn extract_half_bit_into(&self, q: u32, v: u64, out: &mut Vec<f64>) {
         let half = self.len() / 2;
-        let mut out = Vec::with_capacity(half * 2);
+        out.clear();
+        out.reserve(half * 2);
         for k in 0..half as u64 {
             let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
             out.push(self.amps[i].re);
             out.push(self.amps[i].im);
         }
-        out
     }
 
     fn write_half_bit(&mut self, q: u32, v: u64, data: &[f64]) {

@@ -67,6 +67,22 @@ pub trait AmpStorage: Send + Sync + Sized + Clone {
     /// (diagonal) sweep; `offset` carries the rank bits.
     fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync));
 
+    /// Applies a precompiled *run* of diagonal gates in one pass: each
+    /// amplitude is read once, multiplied by every gate's phase in gate
+    /// order, and written once — `k` gate sweeps collapse into one.
+    ///
+    /// The per-amplitude multiply sequence is exactly the one `k`
+    /// successive [`Self::apply_phase_fn`] sweeps would perform, so the
+    /// fused path is bit-for-bit identical to gate-at-a-time execution.
+    /// Layouts override this default (sequential) loop with their
+    /// parallel chunked sweeps.
+    fn apply_fused_diagonal(&mut self, offset: u64, run: &crate::diagonal::CompiledDiagonal) {
+        for i in 0..self.len() {
+            let v = run.apply(offset | i as u64, self.get(i));
+            self.set(i, v);
+        }
+    }
+
     /// Swaps local qubits `a` and `b` (pure in-memory permutation).
     fn swap_local(&mut self, a: u32, b: u32);
 
@@ -84,7 +100,16 @@ pub trait AmpStorage: Send + Sync + Sized + Clone {
     );
 
     /// Serialises the whole slice as interleaved `[re, im]` pairs.
-    fn to_f64_vec(&self) -> Vec<f64>;
+    fn to_f64_vec(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.write_f64_into(&mut out);
+        out
+    }
+
+    /// Serialises the whole slice into `out` as interleaved pairs,
+    /// reusing `out`'s capacity — the allocation-free exchange staging
+    /// path (the distributed engine keeps `out` as per-state scratch).
+    fn write_f64_into(&self, out: &mut Vec<f64>);
 
     /// Overwrites the whole slice from interleaved `[re, im]` pairs.
     fn copy_from_f64(&mut self, data: &[f64]);
@@ -92,7 +117,14 @@ pub trait AmpStorage: Send + Sync + Sized + Clone {
     /// Extracts amplitudes whose local-index bit `q` equals `v`, in
     /// ascending index order, as interleaved pairs — the half-exchange
     /// SWAP payload (§4).
-    fn extract_half_bit(&self, q: u32, v: u64) -> Vec<f64>;
+    fn extract_half_bit(&self, q: u32, v: u64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.extract_half_bit_into(q, v, &mut out);
+        out
+    }
+
+    /// [`Self::extract_half_bit`] into a reusable buffer (cleared first).
+    fn extract_half_bit_into(&self, q: u32, v: u64, out: &mut Vec<f64>);
 
     /// Writes `data` (interleaved pairs) into the amplitudes whose
     /// local-index bit `q` equals `v`, in ascending index order.
@@ -190,9 +222,12 @@ pub(crate) mod conformance {
         pairs_every_qubit_roundtrip::<S>();
         pairs_controlled::<S>();
         phase_sweep_with_offset::<S>();
+        fused_diagonal_bitwise_matches_gate_at_a_time::<S>();
+        large_fused_diagonal_matches_default::<S>();
         swap_local_permutes::<S>();
         combine_rows_linear::<S>();
         f64_roundtrip::<S>();
+        into_buffers_reuse_capacity::<S>();
         half_bit_extract_write::<S>();
         init_basis_places_one::<S>();
         large_parallel_sweep_matches_small::<S>();
@@ -268,6 +303,69 @@ pub(crate) mod conformance {
         }
     }
 
+    fn fused_diagonal_bitwise_matches_gate_at_a_time<S: AmpStorage>() {
+        use crate::diagonal::{diagonal_phase, CompiledDiagonal};
+        use qse_circuit::Gate;
+        let gates = vec![
+            Gate::S(0),
+            Gate::T(1),
+            Gate::CPhase {
+                a: 0,
+                b: 2,
+                theta: 0.3,
+            },
+            Gate::Rz {
+                target: 2,
+                theta: -0.9,
+            },
+            Gate::Z(1),
+        ];
+        let offset = 16u64; // a rank bit above the local width
+        let mut unfused: S = ramp(8);
+        for g in &gates {
+            unfused.apply_phase_fn(offset, &|i| diagonal_phase(g, i));
+        }
+        let mut fused: S = ramp(8);
+        fused.apply_fused_diagonal(offset, &CompiledDiagonal::compile(&gates));
+        for i in 0..8 {
+            let (u, f) = (unfused.get(i), fused.get(i));
+            assert_eq!(u.re.to_bits(), f.re.to_bits(), "re at {i}");
+            assert_eq!(u.im.to_bits(), f.im.to_bits(), "im at {i}");
+        }
+    }
+
+    fn large_fused_diagonal_matches_default<S: AmpStorage>() {
+        // Above PAR_THRESHOLD the fused sweep takes the pool path; verify
+        // it agrees bitwise with per-gate sweeps on the same data.
+        use crate::diagonal::{diagonal_phase, CompiledDiagonal};
+        use qse_circuit::Gate;
+        let len = PAR_THRESHOLD * 2;
+        let gates = vec![
+            Gate::T(3),
+            Gate::CZ(5, 12),
+            Gate::Phase {
+                target: 9,
+                theta: 1.7,
+            },
+        ];
+        let mut unfused = S::zeros(len);
+        let mut fused = S::zeros(len);
+        for i in 0..len {
+            let v = Complex64::new((i % 17) as f64 * 0.25, -((i % 5) as f64));
+            unfused.set(i, v);
+            fused.set(i, v);
+        }
+        for g in &gates {
+            unfused.apply_phase_fn(0, &|i| diagonal_phase(g, i));
+        }
+        fused.apply_fused_diagonal(0, &CompiledDiagonal::compile(&gates));
+        for i in 0..len {
+            let (u, f) = (unfused.get(i), fused.get(i));
+            assert_eq!(u.re.to_bits(), f.re.to_bits(), "re at {i}");
+            assert_eq!(u.im.to_bits(), f.im.to_bits(), "im at {i}");
+        }
+    }
+
     fn swap_local_permutes<S: AmpStorage>() {
         let mut s: S = ramp(8);
         let before = s.to_complex_vec();
@@ -312,6 +410,22 @@ pub(crate) mod conformance {
         for i in 0..16 {
             assert_complex_close(t.get(i), s.get(i), 1e-15);
         }
+    }
+
+    fn into_buffers_reuse_capacity<S: AmpStorage>() {
+        let s: S = ramp(16);
+        // Pre-dirtied buffers with excess capacity: _into must clear and
+        // refill without reallocating.
+        let mut buf = vec![99.0; 64];
+        let cap = buf.capacity();
+        s.write_f64_into(&mut buf);
+        assert_eq!(buf, s.to_f64_vec());
+        assert_eq!(buf.capacity(), cap);
+        let mut half = vec![-1.0; 64];
+        let half_cap = half.capacity();
+        s.extract_half_bit_into(2, 1, &mut half);
+        assert_eq!(half, s.extract_half_bit(2, 1));
+        assert_eq!(half.capacity(), half_cap);
     }
 
     fn half_bit_extract_write<S: AmpStorage>() {

@@ -5,6 +5,7 @@
 //! against the interleaved [`super::AosStorage`].
 
 use super::{AmpStorage, PAR_THRESHOLD};
+use crate::diagonal::CompiledDiagonal;
 use qse_math::bits;
 use qse_math::{Complex64, Matrix2};
 use qse_util::parallel::{parallel_for_each, parallel_map_sum};
@@ -190,6 +191,33 @@ impl AmpStorage for SoaStorage {
         }
     }
 
+    fn apply_fused_diagonal(&mut self, offset: u64, run: &CompiledDiagonal) {
+        let len = self.len();
+        if len >= PAR_THRESHOLD {
+            let chunks: Vec<(usize, &mut [f64], &mut [f64])> = self
+                .re
+                .chunks_mut(HALF_CHUNK)
+                .zip(self.im.chunks_mut(HALF_CHUNK))
+                .enumerate()
+                .map(|(ci, (rc, ic))| (ci, rc, ic))
+                .collect();
+            parallel_for_each(chunks, |(ci, rc, ic)| {
+                let base = ci * HALF_CHUNK;
+                for k in 0..rc.len() {
+                    let v = run.apply(offset | (base + k) as u64, Complex64::new(rc[k], ic[k]));
+                    rc[k] = v.re;
+                    ic[k] = v.im;
+                }
+            });
+        } else {
+            for i in 0..len {
+                let v = run.apply(offset | i as u64, Complex64::new(self.re[i], self.im[i]));
+                self.re[i] = v.re;
+                self.im[i] = v.im;
+            }
+        }
+    }
+
     fn apply_phase_fn(&mut self, offset: u64, phase: &(dyn Fn(u64) -> Complex64 + Sync)) {
         let len = self.len();
         if len >= PAR_THRESHOLD {
@@ -279,13 +307,13 @@ impl AmpStorage for SoaStorage {
         }
     }
 
-    fn to_f64_vec(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.len() * 2);
+    fn write_f64_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len() * 2);
         for i in 0..self.len() {
             out.push(self.re[i]);
             out.push(self.im[i]);
         }
-        out
     }
 
     fn copy_from_f64(&mut self, data: &[f64]) {
@@ -296,15 +324,15 @@ impl AmpStorage for SoaStorage {
         }
     }
 
-    fn extract_half_bit(&self, q: u32, v: u64) -> Vec<f64> {
+    fn extract_half_bit_into(&self, q: u32, v: u64, out: &mut Vec<f64>) {
         let half = self.len() / 2;
-        let mut out = Vec::with_capacity(half * 2);
+        out.clear();
+        out.reserve(half * 2);
         for k in 0..half as u64 {
             let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
             out.push(self.re[i]);
             out.push(self.im[i]);
         }
-        out
     }
 
     fn write_half_bit(&mut self, q: u32, v: u64, data: &[f64]) {

@@ -1,13 +1,34 @@
-//! Scoped-thread data parallelism for the statevector kernels.
+//! Persistent-pool data parallelism for the statevector kernels.
 //!
-//! Replaces Rayon's `par_chunks_mut` pattern with the one shape the
-//! kernels actually need: a list of independent work items (disjoint
-//! mutable chunk views), drained by a small pool of scoped threads
-//! through a shared cursor. Work items are coarse (kernels batch ≥ 4096
-//! amplitudes per item), so the per-item `Mutex` on the cursor is noise
-//! next to the memory sweep it dispatches.
+//! Exposes the one shape the kernels actually need: a list of independent
+//! work items (disjoint mutable chunk views), drained through a shared
+//! cursor. Work items are coarse (kernels batch ≥ 4096 amplitudes per
+//! item), so the per-item `Mutex` on the cursor is noise next to the
+//! memory sweep it dispatches.
+//!
+//! Dispatch runs on a process-wide *resident* worker pool rather than
+//! spawning scoped threads per call: statevector simulation issues one
+//! parallel sweep per gate, and at thousands of gates per circuit the
+//! spawn+join cost of a fresh thread set dominated small sweeps. Workers
+//! are created once (lazily, on the first parallel call), park on a
+//! condvar between jobs, and are woken by a notify — per-gate dispatch
+//! cost drops from thread creation to a wakeup.
+//!
+//! Invariants the pool preserves from the scoped-thread implementation:
+//!
+//! * the caller participates in draining its own job, so forward progress
+//!   never depends on a worker being free (concurrent callers — e.g. the
+//!   rank threads of a `Universe` — each drain their own job);
+//! * panics in the work closure propagate to the submitting caller with
+//!   their original payload, after every worker has left the job;
+//! * `QSE_THREADS=1` (or a single-item list) short-circuits to a plain
+//!   sequential loop and never touches the pool;
+//! * nested `parallel_for_each` calls are safe: a pool worker that
+//!   re-enters runs the nested job inline (sequentially), so workers
+//!   never block on other workers and cannot deadlock.
 
-use std::sync::{Mutex, OnceLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Worker-thread count: `QSE_THREADS` if set (≥ 1), else the machine's
 /// available parallelism. Read once per process.
@@ -26,37 +47,200 @@ pub fn num_threads() -> usize {
     })
 }
 
-/// Runs `f` over every item on a pool of scoped threads.
+/// Type-erased pointer to a caller-stack drain closure.
+///
+/// SAFETY: the submitting caller blocks in [`run_job`] until the job is
+/// retired and no worker is inside the closure, so the pointee outlives
+/// every dereference despite the erased lifetime.
+struct DrainPtr(*const (dyn Fn() + Sync));
+// SAFETY: the pointee is `Sync` and is only called, never moved.
+unsafe impl Send for DrainPtr {}
+unsafe impl Sync for DrainPtr {}
+
+/// Mutable half of a job, guarded by `Job::state`.
+struct JobState {
+    /// Workers currently inside the drain closure.
+    active: usize,
+    /// First panic payload observed in a worker.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One submitted parallel call.
+struct Job {
+    /// Generation counter value — identifies the job in the queue.
+    id: u64,
+    drain: DrainPtr,
+    state: Mutex<JobState>,
+    /// Signalled whenever `active` drops to zero.
+    done: Condvar,
+}
+
+struct PoolQueue {
+    /// Jobs whose cursors may still hold items. Workers always join the
+    /// front job; a job is removed as soon as any participant observes
+    /// its cursor exhausted.
+    jobs: Vec<Arc<Job>>,
+    /// Monotonic job-id generator (the pool's epoch counter).
+    next_id: u64,
+}
+
+struct Pool {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a job is pushed; workers park here between jobs.
+    work: Condvar,
+}
+
+thread_local! {
+    /// True on pool worker threads: a nested parallel call from inside a
+    /// work closure must run inline rather than wait on the pool.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The process-wide pool, created on first use with `num_threads() − 1`
+/// resident workers (the caller of each job is the final participant).
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(PoolQueue {
+                jobs: Vec::new(),
+                next_id: 0,
+            }),
+            work: Condvar::new(),
+        }));
+        for i in 0..num_threads().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("qse-pool-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    let mut q = pool.queue.lock().expect("pool queue poisoned");
+    loop {
+        let Some(job) = q.jobs.first().cloned() else {
+            q = pool.work.wait(q).expect("pool queue poisoned");
+            continue;
+        };
+        // Join while holding the queue lock: once a job leaves the queue,
+        // its `active` count can only decrease, which is what lets the
+        // caller's completion wait conclude safely.
+        job.state.lock().expect("job state poisoned").active += 1;
+        drop(q);
+
+        let result = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.drain.0 })()));
+
+        // The drain returned: its cursor is exhausted (or it panicked and
+        // the rest of the items belong to the remaining participants).
+        // Retire the job so no new worker joins, then leave it.
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        queue.jobs.retain(|j| j.id != job.id);
+        let mut st = job.state.lock().expect("job state poisoned");
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            job.done.notify_all();
+        }
+        drop(st);
+        q = queue;
+    }
+}
+
+/// Submits `drain` to the pool, participates in it on the calling thread,
+/// and returns once every participant has left the closure. Worker panics
+/// (or the caller's own) resume on the calling thread with their original
+/// payload.
+fn run_job(drain: &(dyn Fn() + Sync)) {
+    let pool = pool();
+    let job = {
+        let mut q = pool.queue.lock().expect("pool queue poisoned");
+        q.next_id += 1;
+        // SAFETY: erase the closure's lifetime; this function does not
+        // return until no worker can touch the pointer again.
+        let raw: *const (dyn Fn() + Sync) = drain;
+        let job = Arc::new(Job {
+            id: q.next_id,
+            drain: DrainPtr(unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                    raw,
+                )
+            }),
+            state: Mutex::new(JobState {
+                active: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        q.jobs.push(job.clone());
+        job
+    };
+    pool.work.notify_all();
+
+    // Participate: the caller is always one of the drain threads, so the
+    // job completes even if every resident worker is busy elsewhere.
+    let caller_result = catch_unwind(AssertUnwindSafe(drain));
+
+    // Retire the job (idempotent — a worker may have done it already),
+    // then wait for stragglers still inside the closure.
+    pool.queue
+        .lock()
+        .expect("pool queue poisoned")
+        .jobs
+        .retain(|j| j.id != job.id);
+    let mut st = job.state.lock().expect("job state poisoned");
+    while st.active > 0 {
+        st = job.done.wait(st).expect("job state poisoned");
+    }
+    let worker_panic = st.panic.take();
+    drop(st);
+
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Runs `f` over every item, fanning out to the resident worker pool.
 ///
 /// Items are handed out through a shared cursor, so a slow item does not
 /// stall the rest of the list (dynamic load balancing, like Rayon's
 /// work stealing at chunk granularity). Falls back to a sequential loop
-/// for a single item or a single-thread pool.
+/// for a single item, a single-thread configuration, or when called from
+/// inside a pool worker (nested parallelism).
 ///
-/// Panics in `f` propagate to the caller after all threads stop.
+/// Panics in `f` propagate to the caller after all participants stop.
 pub fn parallel_for_each<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
-    let n_threads = num_threads().min(items.len());
-    if n_threads <= 1 {
+    for_each_with_threads(num_threads(), items, f)
+}
+
+/// [`parallel_for_each`] with an explicit thread budget (testable without
+/// mutating `QSE_THREADS`, which is latched once per process).
+fn for_each_with_threads<T: Send>(n_threads: usize, items: Vec<T>, f: impl Fn(T) + Sync) {
+    let n_threads = n_threads.min(items.len());
+    if n_threads <= 1 || IN_POOL_WORKER.with(|w| w.get()) {
         for item in items {
             f(item);
         }
         return;
     }
     let queue = Mutex::new(items.into_iter());
-    let f = &f;
-    let queue = &queue;
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(move || loop {
-                // Take the lock only to pop; run the item outside it.
-                let item = queue.lock().expect("queue poisoned").next();
-                match item {
-                    Some(it) => f(it),
-                    None => break,
-                }
-            });
+    let drain = || loop {
+        // Take the lock only to pop; run the item outside it.
+        let item = queue.lock().expect("queue poisoned").next();
+        match item {
+            Some(it) => f(it),
+            None => break,
         }
-    });
+    };
+    run_job(&drain);
 }
 
 /// Maps every item to an `f64` and returns the sum.
@@ -90,7 +274,9 @@ pub fn chunk_len(len: usize, min_chunk: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
 
     #[test]
     fn visits_every_item_exactly_once() {
@@ -147,5 +333,114 @@ mod tests {
         assert!(chunk_len(1 << 20, 4096) >= 4096);
         assert!(chunk_len(10, 4096) >= 4096);
         assert!(chunk_len(0, 1) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate kernel panic 42")]
+    fn worker_panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..256).collect();
+        parallel_for_each(items, |i| {
+            if i == 37 {
+                panic!("deliberate kernel panic {}", 42);
+            }
+            std::hint::black_box(i);
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        // A panic in one job must not poison the pool for later jobs.
+        let bad = catch_unwind(AssertUnwindSafe(|| {
+            parallel_for_each((0..64usize).collect::<Vec<_>>(), |i| {
+                if i % 2 == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(bad.is_err());
+        let count = AtomicUsize::new(0);
+        parallel_for_each((0..64usize).collect::<Vec<_>>(), |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn single_thread_budget_runs_sequentially_in_order() {
+        // The QSE_THREADS=1 path: no pool involvement, caller's thread
+        // only, items in submission order.
+        let order = Mutex::new(Vec::new());
+        let me = std::thread::current().id();
+        for_each_with_threads(1, (0..100usize).collect(), |i| {
+            assert_eq!(std::thread::current().id(), me, "escaped the caller thread");
+            order.lock().unwrap().push(i);
+        });
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_complete_without_deadlock() {
+        // Outer job items each launch an inner parallel call. Inner calls
+        // from pool workers run inline; inner calls from the caller thread
+        // queue a second job. Either way every leaf runs exactly once.
+        let n_outer = 32;
+        let n_inner = 64;
+        let count = AtomicUsize::new(0);
+        parallel_for_each((0..n_outer).collect::<Vec<usize>>(), |_| {
+            parallel_for_each((0..n_inner).collect::<Vec<usize>>(), |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), n_outer * n_inner);
+    }
+
+    #[test]
+    fn nested_results_match_sequential() {
+        // A nested parallel reduction agrees with the straight-line loop.
+        let items: Vec<usize> = (0..48).collect();
+        let got = parallel_map_sum(items.clone(), |i| {
+            parallel_map_sum((0..=i).map(|k| k as f64).collect(), |x| x)
+        });
+        let want: f64 = items
+            .iter()
+            .map(|&i| (0..=i).map(|k| k as f64).sum::<f64>())
+            .sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn workers_are_resident_across_calls() {
+        // Every thread that ever executes an item belongs to the fixed set
+        // {caller} ∪ {pool workers}: repeated calls must not mint new
+        // threads the way scoped spawning did.
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..5 {
+            let items: Vec<usize> = (0..num_threads() * 8).collect();
+            parallel_for_each(items, |_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        }
+        assert!(seen.into_inner().unwrap().len() <= num_threads());
+    }
+
+    #[test]
+    fn concurrent_outside_callers_share_the_pool() {
+        // Two non-pool threads submitting jobs at once (the Universe rank
+        // pattern): both complete, each visiting all of its items.
+        let totals: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for t in &totals {
+                scope.spawn(move || {
+                    parallel_for_each((0..500usize).collect::<Vec<_>>(), |_| {
+                        t.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        for t in &totals {
+            assert_eq!(t.load(Ordering::SeqCst), 500);
+        }
     }
 }
