@@ -1,0 +1,58 @@
+//! `qse-lint` — runs the in-tree source lint over the workspace.
+//!
+//! ```sh
+//! qse-lint              # lint the enclosing workspace
+//! qse-lint --root PATH  # lint an explicit workspace root
+//! ```
+//!
+//! Exits 0 when clean, 1 with one line per violation otherwise.
+
+use qse_check::lint::{find_workspace_root, lint_tree};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next().as_deref() {
+        Some("--root") => match args.next() {
+            Some(p) => Some(PathBuf::from(p)),
+            None => {
+                eprintln!("error: --root needs a path");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(other) => {
+            eprintln!("error: unknown argument `{other}` (usage: qse-lint [--root PATH])");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("qse-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("qse-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! In-tree analysis tooling for the simulator's concurrency substrate.
+//!
+//! Three engines, each aimed at a class of bug the ordinary test suite
+//! can miss:
+//!
+//! * [`schedule`] — a mini-loom: a bounded-preemption interleaving
+//!   explorer that drives instrumented code (the mailbox channels and
+//!   worker pool of `qse-util`) through a controlled scheduler. Small
+//!   fixtures are explored exhaustively; larger ones with seeded random
+//!   schedules, and any failing schedule replays from its printed seed.
+//! * runtime deadlock detection — lives in [`qse_comm::deadlock`]; the
+//!   integration tests in this crate drive intentionally deadlocking
+//!   rank programs and assert the per-rank diagnostics.
+//! * [`lint`] — a source scanner enforcing the repo's error-handling
+//!   and determinism conventions (no `unwrap`/`expect`/`panic!` in
+//!   library code of the communication and kernel crates, no wall-clock
+//!   reads in the analytic model, documented public API in `qse-comm`),
+//!   run as a tier-1 test and exposed as the `qse-lint` binary.
+
+pub mod lint;
+pub mod schedule;
+
+pub use lint::{lint_file, lint_tree, Rule, Violation};
+pub use schedule::{Ctl, Explorer, ScheduleFailure};

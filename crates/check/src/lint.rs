@@ -1,0 +1,481 @@
+//! A source lint pass for the repo's own conventions.
+//!
+//! A deliberately small line/token scanner — no parser dependency —
+//! enforcing three rules that the type system cannot:
+//!
+//! * **R1 `PanicInLib`** — no `.unwrap()`, `.expect(`, or `panic!` in
+//!   non-test library code of `qse-comm`, `qse-statevec`, and
+//!   `qse-machine`: the crates whose errors must surface as typed
+//!   [`qse_comm::CommError`] values rather than rank-thread panics.
+//!   (`assert!`, `debug_assert!`, and `unreachable!` remain allowed —
+//!   invariant violations *should* panic.)
+//! * **R2 `InstantInMachine`** — no `Instant::now()` in `qse-machine`:
+//!   the analytic model must stay a pure function of its inputs, never
+//!   of the wall clock.
+//! * **R3 `UndocumentedPub`** — every `pub fn` in `qse-comm` carries a
+//!   doc comment; the communication layer is the API other crates build
+//!   on.
+//!
+//! The scanner strips `//` comments, `/* */` blocks, and string/char
+//! literals before matching, and skips `#[cfg(test)]` regions by brace
+//! counting. A trailing `// qse-lint: allow` escape-hatches one line.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which convention a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` / `panic!` in library code.
+    PanicInLib,
+    /// `Instant::now()` in the analytic-model crate.
+    InstantInMachine,
+    /// `pub fn` without a doc comment in `qse-comm`.
+    UndocumentedPub,
+}
+
+impl Rule {
+    /// Short identifier used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::PanicInLib => "panic-in-lib",
+            Rule::InstantInMachine => "instant-in-machine",
+            Rule::UndocumentedPub => "undocumented-pub",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The broken rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+/// The crates R1 applies to: their `src/` trees must not panic on
+/// recoverable errors.
+const NO_PANIC_CRATES: [&str; 3] = ["comm", "statevec", "machine"];
+
+fn crate_of(relpath: &str) -> Option<&str> {
+    let rest = relpath.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+/// Strips comments and string/char literals from one line, carrying
+/// block-comment state across lines. Raw strings are handled only to
+/// the depth the tree actually uses (no `#` guards).
+fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            b'\'' => {
+                // Either a char literal ('x', '\n') or a lifetime ('a).
+                // A closing quote within 3 bytes means char literal.
+                let close = bytes[i + 1..]
+                    .iter()
+                    .take(4)
+                    .position(|&b| b == b'\'')
+                    .map(|p| i + 1 + p);
+                match close {
+                    Some(end) => {
+                        out.push_str("' '");
+                        i = end + 1;
+                    }
+                    None => {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_allowed(raw_line: &str, prev_raw: Option<&str>) -> bool {
+    let marker = "qse-lint: allow";
+    raw_line.contains(marker) || prev_raw.is_some_and(|p| p.contains(marker))
+}
+
+/// Does the stripped line declare a documentable public function?
+/// (`pub(crate)` and narrower are internal — not covered by R3.)
+fn declares_pub_fn(stripped: &str) -> bool {
+    let t = stripped.trim_start();
+    if !t.starts_with("pub ") {
+        return false;
+    }
+    let after = t["pub ".len()..].trim_start();
+    for prefix in ["fn ", "const fn ", "unsafe fn ", "async fn "] {
+        if after.starts_with(prefix) {
+            return true;
+        }
+    }
+    // `pub const unsafe fn`, `pub unsafe extern "C" fn`, … — rare;
+    // catch any `fn ` following only qualifier words.
+    let words: Vec<&str> = after.split_whitespace().collect();
+    let mut saw_qualifiers_only = true;
+    for w in &words {
+        if *w == "fn" || w.starts_with("fn") {
+            return saw_qualifiers_only;
+        }
+        if !matches!(*w, "const" | "unsafe" | "async" | "extern" | "\"\"") {
+            saw_qualifiers_only = false;
+        }
+    }
+    false
+}
+
+/// Lints one file's contents. `relpath` is workspace-relative with `/`
+/// separators (e.g. `crates/comm/src/universe.rs`); it decides which
+/// rules apply.
+pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
+    let Some(crate_name) = crate_of(relpath) else {
+        return Vec::new();
+    };
+    let check_panics = NO_PANIC_CRATES.contains(&crate_name);
+    let check_instant = crate_name == "machine";
+    let check_docs = crate_name == "comm";
+    if !(check_panics || check_instant || check_docs) {
+        return Vec::new();
+    }
+
+    let mut violations = Vec::new();
+    let mut in_block_comment = false;
+    // Depth tracking for `#[cfg(test)]` regions: once the attribute is
+    // seen, the next block `{ … }` (usually `mod tests`) is test code.
+    let mut brace_depth: i64 = 0;
+    let mut cfg_test_pending = false;
+    let mut test_region_floor: Option<i64> = None;
+    // R3 state: a doc comment (or doc + attributes) directly above.
+    let mut doc_pending = false;
+    let mut prev_raw: Option<&str> = None;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let was_in_block = in_block_comment;
+        let stripped = strip_line(raw, &mut in_block_comment);
+        let trimmed_raw = raw.trim_start();
+
+        // Doc-comment adjacency for R3 (raw text: `///` lines are
+        // comments and would be stripped).
+        if trimmed_raw.starts_with("///") || trimmed_raw.starts_with("#[doc") {
+            doc_pending = true;
+        } else if trimmed_raw.starts_with("#[") || trimmed_raw.starts_with("#![") {
+            // Attributes between the doc comment and the item keep it.
+        } else if !stripped.trim().is_empty() {
+            // consumed below by the pub fn check, then cleared
+        }
+
+        if stripped.contains("#[cfg(test)]") || stripped.contains("#[cfg(all(test") {
+            cfg_test_pending = true;
+        }
+
+        let in_test_region = test_region_floor.is_some();
+        let allowed = is_allowed(raw, prev_raw);
+
+        if !in_test_region && !was_in_block && !allowed {
+            if check_panics {
+                for (needle, what) in [
+                    (".unwrap()", "`.unwrap()`"),
+                    (".expect(", "`.expect(…)`"),
+                    ("panic!", "`panic!`"),
+                ] {
+                    if stripped.contains(needle) {
+                        violations.push(Violation {
+                            file: relpath.to_string(),
+                            line: line_no,
+                            rule: Rule::PanicInLib,
+                            message: format!(
+                                "{what} in library code; return a typed error instead \
+                                 (or `// qse-lint: allow` with justification)"
+                            ),
+                        });
+                    }
+                }
+            }
+            if check_instant && stripped.contains("Instant::now()") {
+                violations.push(Violation {
+                    file: relpath.to_string(),
+                    line: line_no,
+                    rule: Rule::InstantInMachine,
+                    message: "`Instant::now()` in the analytic model; estimates must be \
+                              pure functions of their inputs"
+                        .to_string(),
+                });
+            }
+            if check_docs && declares_pub_fn(&stripped) && !doc_pending {
+                violations.push(Violation {
+                    file: relpath.to_string(),
+                    line: line_no,
+                    rule: Rule::UndocumentedPub,
+                    message: "public function without a doc comment".to_string(),
+                });
+            }
+        }
+
+        // Clear doc adjacency on any substantive non-attribute line.
+        if !trimmed_raw.starts_with("///")
+            && !trimmed_raw.starts_with("#[")
+            && !trimmed_raw.starts_with("#![")
+            && !stripped.trim().is_empty()
+        {
+            doc_pending = false;
+        }
+
+        // Brace accounting (on stripped text, so braces in strings and
+        // comments don't count).
+        for b in stripped.bytes() {
+            match b {
+                b'{' => {
+                    brace_depth += 1;
+                    if cfg_test_pending && test_region_floor.is_none() {
+                        test_region_floor = Some(brace_depth);
+                        cfg_test_pending = false;
+                    }
+                }
+                b'}' => {
+                    if let Some(floor) = test_region_floor {
+                        if brace_depth == floor {
+                            test_region_floor = None;
+                        }
+                    }
+                    brace_depth -= 1;
+                }
+                b';' => {
+                    // `#[cfg(test)] use …;` — attribute consumed by a
+                    // braceless item.
+                    if cfg_test_pending && test_region_floor.is_none() {
+                        cfg_test_pending = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        prev_raw = Some(raw);
+    }
+    violations
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`, so the lint runs correctly from any working directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every `src/` file of every crate under `root/crates`, returning
+/// all violations sorted by path and line.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        walk_rs_files(&crate_dir.join("src"), &mut files);
+    }
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)?;
+        violations.extend(lint_file(&rel, &content));
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_library_code_flagged() {
+        let v = lint_file(
+            "crates/comm/src/fake.rs",
+            "pub(crate) fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::PanicInLib);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn expect_and_panic_flagged_assert_allowed() {
+        let src = "fn f() {\n    assert!(true);\n    debug_assert_eq!(1, 1);\n    \
+                   unreachable!(\"x\");\n    y.expect(\"boom\");\n    panic!(\"no\");\n}\n";
+        let v = lint_file("crates/statevec/src/fake.rs", src);
+        let rules: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert_eq!(rules, vec![5, 6]);
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   Some(1).unwrap();\n    }\n}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n\
+                   fn after() { y.unwrap(); }\n";
+        let v = lint_file("crates/comm/src/fake.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_the_scanner() {
+        let src = "fn f() {\n    let s = \".unwrap()\";\n    // x.unwrap()\n    \
+                   /* panic!(\"no\") */\n    let c = '\\'';\n}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn f() {\n    x.unwrap() // qse-lint: allow — startup only\n}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+        let src = "fn f() {\n    // qse-lint: allow — lock poisoning is fatal\n    x.unwrap()\n}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_only_flagged_in_machine() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(lint_file("crates/machine/src/fake.rs", src).len(), 1);
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_fn_flagged_in_comm_only() {
+        let src = "pub fn naked() {}\n";
+        let v = lint_file("crates/comm/src/fake.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UndocumentedPub);
+        assert!(lint_file("crates/statevec/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn documented_pub_fn_passes_even_with_attributes() {
+        let src = "/// Does the thing.\n#[inline]\npub fn documented() {}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+        let src = "/// Docs.\npub const fn k() -> u8 { 0 }\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_fn_needs_no_docs() {
+        let src = "pub(crate) fn internal() {}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unlinted_crates_and_paths_ignored() {
+        let src = "pub fn f() { x.unwrap(); panic!(); }\n";
+        assert!(lint_file("crates/core/src/fake.rs", src).is_empty());
+        assert!(lint_file("crates/comm/tests/fake.rs", src).is_empty());
+        assert!(lint_file("src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_examples_do_not_count_as_violations() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\npub fn documented() {}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn violation_display_is_clickable() {
+        let v = Violation {
+            file: "crates/comm/src/x.rs".into(),
+            line: 12,
+            rule: Rule::PanicInLib,
+            message: "m".into(),
+        };
+        assert_eq!(v.to_string(), "crates/comm/src/x.rs:12: [panic-in-lib] m");
+    }
+}

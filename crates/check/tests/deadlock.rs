@@ -1,0 +1,140 @@
+//! Intentional-deadlock suite: rank programs that can never complete
+//! must fail *fast* with diagnostics naming the stuck ranks and what
+//! they are waiting for — not with a generic receive timeout minutes
+//! later. Drives the wait-for-graph detector in `qse_comm::deadlock`
+//! through real `Universe` runs.
+
+use qse_comm::{CommError, Universe};
+use std::time::{Duration, Instant};
+
+/// The detector polls every 25 ms; well under this budget.
+const BUDGET: Duration = Duration::from_secs(2);
+
+/// A long receive timeout so any failure we see comes from the
+/// detector, never from the deadline.
+const LONG: Duration = Duration::from_secs(300);
+
+#[test]
+fn mismatched_sendrecv_tags_fail_fast_naming_both_ranks() {
+    let t0 = Instant::now();
+    let out = Universe::with_timeout(4, LONG).run(|c| match c.rank() {
+        // Ranks 0 and 1 exchange, but each waits for a tag the other
+        // never sends: a classic tag-mismatch deadlock.
+        0 => c.sendrecv(1, 10, b"ping", 1, 99).map(|_| ()),
+        1 => c.sendrecv(0, 20, b"pong", 0, 88).map(|_| ()),
+        // Ranks 2 and 3 finish immediately.
+        _ => Ok(()),
+    });
+    assert!(
+        t0.elapsed() < BUDGET,
+        "deadlock took {:?} to surface",
+        t0.elapsed()
+    );
+    for (rank, want_peer, want_tag) in [(0usize, 1usize, 99u64), (1, 0, 88)] {
+        match &out[rank] {
+            Err(CommError::Deadlock {
+                rank: r,
+                stuck,
+                detail,
+            }) => {
+                assert_eq!(*r, rank);
+                assert_eq!(stuck, &vec![0, 1], "both mismatched ranks named");
+                let wait = format!("recv(src={want_peer}, tag={want_tag})");
+                assert!(
+                    detail.contains(&wait),
+                    "rank {rank} detail must name its awaited (peer, tag): {detail}"
+                );
+            }
+            other => panic!("rank {rank}: expected Deadlock, got {other:?}"),
+        }
+    }
+    assert!(out[2].is_ok());
+    assert!(out[3].is_ok());
+}
+
+#[test]
+fn one_sided_exchange_reports_the_waiting_rank() {
+    let t0 = Instant::now();
+    let out = Universe::with_timeout(2, LONG).run(|c| {
+        if c.rank() == 1 {
+            // Waits for a message rank 0 never sends.
+            c.recv(0, 7).map(|_| ())
+        } else {
+            Ok(())
+        }
+    });
+    assert!(t0.elapsed() < BUDGET);
+    assert!(out[0].is_ok());
+    match &out[1] {
+        Err(CommError::Deadlock { rank, stuck, detail }) => {
+            assert_eq!(*rank, 1);
+            assert_eq!(stuck, &vec![1]);
+            assert!(detail.contains("recv(src=0, tag=7)"), "{detail}");
+            assert!(detail.contains("finished"), "peer state shown: {detail}");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn three_rank_wait_cycle_is_named_in_full() {
+    let t0 = Instant::now();
+    let out = Universe::with_timeout(3, LONG).run(|c| {
+        // rank r waits on rank r+1 (mod 3); nobody ever sends.
+        let next = (c.rank() + 1) % 3;
+        c.recv(next, 5).map(|_| ())
+    });
+    assert!(t0.elapsed() < BUDGET);
+    for (rank, res) in out.iter().enumerate() {
+        match res {
+            Err(CommError::Deadlock { stuck, detail, .. }) => {
+                assert_eq!(stuck, &vec![0, 1, 2], "whole cycle named");
+                // Every rank's report shows each member and its wait.
+                for r in 0..3usize {
+                    assert!(detail.contains(&format!("rank {r}")), "{detail}");
+                }
+            }
+            other => panic!("rank {rank}: expected Deadlock, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn buffered_but_unmatched_traffic_still_detected() {
+    // Both ranks send a tag the peer is not waiting for: the messages
+    // are delivered into pending buffers (so nothing is "in flight"),
+    // yet neither recv can ever match — the detector must see through
+    // the buffered traffic.
+    let t0 = Instant::now();
+    let out = Universe::with_timeout(2, LONG).run(|c| {
+        let peer = 1 - c.rank();
+        c.send(peer, 40 + c.rank() as u64, b"noise")?;
+        c.recv(peer, 1234).map(|_| ())
+    });
+    assert!(t0.elapsed() < BUDGET);
+    for res in &out {
+        match res {
+            Err(CommError::Deadlock { stuck, detail, .. }) => {
+                assert_eq!(stuck, &vec![0, 1]);
+                assert!(detail.contains("1 buffered"), "queue depth shown: {detail}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn healthy_exchange_is_not_flagged() {
+    // The false-positive guard: a slow but live exchange (receiver
+    // starts waiting before the sender sends) must complete normally.
+    let out = Universe::with_timeout(2, LONG).run(|c| {
+        if c.rank() == 0 {
+            c.recv(1, 3).map(|b| b.len())
+        } else {
+            std::thread::sleep(Duration::from_millis(120));
+            c.send(0, 3, &[1, 2, 3]).map(|_| 0)
+        }
+    });
+    assert_eq!(*out[0].as_ref().unwrap(), 3);
+    assert!(out[1].is_ok());
+}

@@ -1,0 +1,42 @@
+//! The lint self-test: the repo's own tree must be clean, and the rules
+//! must actually bite on seeded fixtures (a linter that passes
+//! everything also "passes" the tree).
+
+use qse_check::lint::{find_workspace_root, lint_tree};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(here).expect("workspace root above crates/check")
+}
+
+#[test]
+fn the_tree_is_lint_clean() {
+    let violations = lint_tree(&workspace_root()).expect("tree readable");
+    assert!(
+        violations.is_empty(),
+        "lint violations in the tree:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_linter_bites_on_a_seeded_unwrap() {
+    // Guard against a silently over-permissive scanner: re-lint a real
+    // library file with an injected unwrap and require a finding.
+    let root = workspace_root();
+    let path = root.join("crates/comm/src/universe.rs");
+    let mut content = std::fs::read_to_string(&path).expect("readable");
+    assert!(
+        qse_check::lint_file("crates/comm/src/universe.rs", &content).is_empty(),
+        "baseline file must be clean"
+    );
+    content.push_str("\nfn seeded() -> usize { None::<usize>.unwrap() }\n");
+    let v = qse_check::lint_file("crates/comm/src/universe.rs", &content);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, qse_check::Rule::PanicInLib);
+}

@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::{ArgError, Args};
+use qse_check::{Ctl, Explorer};
 use qse_circuit::algorithms::{bernstein_vazirani, ghz, grover, grover_optimal_iterations};
 use qse_circuit::classify::{comm_summary, Layout};
 use qse_circuit::qft::{cache_blocked_qft, default_split, qft, valid_split_range};
@@ -23,6 +24,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         "model" => model(args),
         "sweep" => sweep(args),
         "transpile" => transpile(args),
+        "check" => check(args),
         other => Err(ArgError(format!(
             "unknown command `{other}`; try `qse help`"
         ))),
@@ -47,7 +49,10 @@ pub fn help_text() -> String {
        sweep [--from A] [--to B] [--fast] [--gpu]\n\
                                     fig-2-style QFT sweep at minimum node counts\n\
        transpile --qubits N --ranks R [--circuit ...]\n\
-                                    cache-block a circuit, show communication\n"
+                                    cache-block a circuit, show communication\n\
+       check [--root PATH] [--seed N]\n\
+                                    self-check: source lint, deadlock detector,\n\
+                                    schedule explorer (all must pass)\n"
         .to_string()
 }
 
@@ -271,6 +276,107 @@ fn transpile(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
+/// Instrumented lost-update fixture for the schedule-explorer smoke: two
+/// workers race a read-modify-write, so some interleaving must fail.
+fn racy_counter_fixture(ctl: &Ctl) {
+    use qse_util::sync::{sync_point, SyncOp};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let (tx, rx) = qse_util::mailbox::unbounded::<()>();
+    let counter = Arc::new(AtomicUsize::new(0));
+    for _ in 0..2 {
+        let counter = Arc::clone(&counter);
+        let tx = tx.clone();
+        ctl.spawn(move || {
+            let v = counter.load(Ordering::SeqCst);
+            sync_point(SyncOp::User("between load and store"));
+            counter.store(v + 1, Ordering::SeqCst);
+            let _ = tx.send(());
+        });
+    }
+    drop(tx);
+    for _ in 0..2 {
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("worker done");
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+fn check(args: &Args) -> Result<String, ArgError> {
+    use qse_comm::{CommError, Universe};
+    use std::time::{Duration, Instant};
+    args.expect_only(&["root", "seed"])?;
+    let mut out = String::new();
+
+    // 1. Source lint over the workspace tree.
+    let root = match args.optional::<std::path::PathBuf>("root")? {
+        Some(p) => p,
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ArgError(format!("cannot read cwd: {e}")))?;
+            qse_check::lint::find_workspace_root(&cwd).ok_or_else(|| {
+                ArgError("no workspace root above the cwd; pass --root PATH".into())
+            })?
+        }
+    };
+    let violations = qse_check::lint_tree(&root)
+        .map_err(|e| ArgError(format!("lint walk failed: {e}")))?;
+    if !violations.is_empty() {
+        let list = violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ");
+        return Err(ArgError(format!("lint: {} violation(s)\n  {list}", violations.len())));
+    }
+    out += &format!("lint: clean ({})\n", root.display());
+
+    // 2. Deadlock detector smoke: a one-sided receive must be diagnosed
+    // by the wait-for graph, fast, naming the stuck rank.
+    let t0 = Instant::now();
+    let ranks = Universe::with_timeout(2, Duration::from_secs(300)).run(|c| {
+        if c.rank() == 0 {
+            c.recv(1, 9).map(|_| ())
+        } else {
+            Ok(())
+        }
+    });
+    match &ranks[0] {
+        Err(CommError::Deadlock { stuck, .. }) if stuck == &vec![0] => {
+            out += &format!("deadlock: detector fired in {:?} naming rank 0\n", t0.elapsed());
+        }
+        other => {
+            return Err(ArgError(format!(
+                "deadlock: detector failed to diagnose a one-sided receive: {other:?}"
+            )))
+        }
+    }
+
+    // 3. Schedule explorer smoke: the seeded lost update must be found.
+    match Explorer::exhaustive().explore(racy_counter_fixture) {
+        Err(failure) => out += &format!("schedule: lost update found ({failure})\n"),
+        Ok(n) => {
+            return Err(ArgError(format!(
+                "schedule: explorer missed the seeded lost update over {n} schedules"
+            )))
+        }
+    }
+    if let Some(seed) = args.optional::<u64>("seed")? {
+        match Explorer::random(seed, 200).explore(racy_counter_fixture) {
+            Err(failure) => {
+                out += &format!("schedule: random mode (seed {seed}) found it too ({failure})\n")
+            }
+            Ok(n) => {
+                return Err(ArgError(format!(
+                    "schedule: random mode (seed {seed}) missed the bug over {n} schedules"
+                )))
+            }
+        }
+    }
+    out += "check: all engines passed\n";
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,7 +389,7 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let out = run_cli(&["help"]).unwrap();
-        for cmd in ["run", "model", "sweep", "transpile", "info"] {
+        for cmd in ["run", "model", "sweep", "transpile", "info", "check"] {
             assert!(out.contains(cmd), "missing {cmd}");
         }
     }
@@ -361,6 +467,22 @@ mod tests {
         assert!(out.contains("before:"));
         assert!(out.contains("after:"));
         assert!(out.contains("x less"));
+    }
+
+    #[test]
+    fn check_runs_all_engines() {
+        let out = run_cli(&["check", "--seed", "7"]).unwrap();
+        assert!(out.contains("lint: clean"), "{out}");
+        assert!(out.contains("deadlock: detector fired"), "{out}");
+        assert!(out.contains("schedule: lost update found"), "{out}");
+        assert!(out.contains("seed 7"), "{out}");
+        assert!(out.contains("all engines passed"), "{out}");
+    }
+
+    #[test]
+    fn check_rejects_a_missing_root() {
+        let err = run_cli(&["check", "--root", "/nonexistent/nowhere"]).unwrap_err();
+        assert!(err.0.contains("lint walk failed"), "{}", err.0);
     }
 
     #[test]

@@ -51,16 +51,15 @@ impl ChunkPolicy {
 
     /// Byte ranges of each chunk, in order.
     ///
-    /// Chunk starts are computed with checked arithmetic: for any
-    /// `total <= usize::MAX` every start offset `i * cap` is `< total` and
-    /// therefore representable, but the guard keeps a future refactor from
-    /// silently wrapping on pathological `(total, cap)` combinations.
+    /// Chunk starts use saturating arithmetic: for any `total <=
+    /// usize::MAX` every start offset `i * cap` is `< total` and therefore
+    /// cannot overflow; the saturation plus debug assertion keep a future
+    /// refactor from silently wrapping on pathological `(total, cap)`
+    /// combinations without putting a panic on the library path.
     pub fn ranges(&self, total: usize) -> impl Iterator<Item = Range<usize>> + '_ {
         let cap = self.max_message_bytes;
         (0..self.num_chunks(total)).map(move |i| {
-            let start = i
-                .checked_mul(cap)
-                .expect("chunk start offset overflows usize");
+            let start = i.saturating_mul(cap);
             debug_assert!(start < total, "chunk start {start} beyond total {total}");
             start..usize::min(start.saturating_add(cap), total)
         })

@@ -21,6 +21,15 @@ const TAG_BCAST: u64 = COLLECTIVE_BASE;
 const TAG_GATHER: u64 = COLLECTIVE_BASE + 1;
 const TAG_REDUCE: u64 = COLLECTIVE_BASE + 2;
 
+/// Decodes a little-endian `u64` from the first 8 bytes of `bytes`
+/// (panics via slice indexing if shorter — collective frames are produced
+/// in this module, so a short frame is an internal invariant violation).
+fn u64_le(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
 /// Broadcasts `payload` from `root` to every rank; returns the payload on
 /// all ranks (including the root, for uniform call sites).
 pub fn broadcast(comm: &mut Communicator, root: usize, payload: &[u8]) -> Result<Bytes> {
@@ -109,9 +118,7 @@ pub fn allgather(comm: &mut Communicator, payload: &[u8]) -> Result<Vec<Bytes>> 
     let framed = broadcast(comm, 0, &frame)?;
     // Decode the frame.
     let mut cursor = 0usize;
-    let read_u64 = |buf: &[u8], at: usize| -> u64 {
-        u64::from_le_bytes(buf[at..at + 8].try_into().expect("8-byte frame header"))
-    };
+    let read_u64 = |buf: &[u8], at: usize| -> u64 { u64_le(&buf[at..]) };
     let count = read_u64(&framed, cursor) as usize;
     cursor += 8;
     let mut out = Vec::with_capacity(count);
@@ -131,14 +138,14 @@ pub fn allreduce_sum_u64(comm: &mut Communicator, value: u64) -> Result<u64> {
         let mut total = value;
         for src in 1..comm.size() {
             let p = comm.recv(src, TAG_REDUCE)?;
-            total += u64::from_le_bytes(p[..8].try_into().expect("8-byte payload"));
+            total += u64_le(&p);
         }
         let b = broadcast(comm, 0, &total.to_le_bytes())?;
-        Ok(u64::from_le_bytes(b[..8].try_into().expect("8 bytes")))
+        Ok(u64_le(&b))
     } else {
         comm.send(0, TAG_REDUCE, &value.to_le_bytes())?;
         let b = broadcast(comm, 0, &[])?;
-        Ok(u64::from_le_bytes(b[..8].try_into().expect("8 bytes")))
+        Ok(u64_le(&b))
     }
 }
 

@@ -1,15 +1,21 @@
 //! The per-rank communication endpoint.
 
+use crate::deadlock::{WaitKind, WaitRegistry};
 use crate::error::CommError;
 use crate::message::Envelope;
 use crate::nonblocking::Request;
 use crate::stats::{SharedCounters, TrafficStats};
 use crate::Result;
 use qse_util::Bytes;
-use qse_util::mailbox::{Receiver, RecvTimeoutError, Sender};
+use qse_util::mailbox::{deadline_after, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// Poll slice for blocked receives: each expiry re-runs the wait-for-graph
+/// deadlock detector, so a protocol bug is diagnosed within a few slices
+/// instead of after the full receive deadline.
+const DEADLOCK_POLL: Duration = Duration::from_millis(25);
 
 /// One rank's endpoint into the universe.
 ///
@@ -28,6 +34,7 @@ pub struct Communicator {
     counters: SharedCounters,
     all_counters: Arc<Vec<SharedCounters>>,
     recv_timeout: Duration,
+    registry: Arc<WaitRegistry>,
 }
 
 impl Communicator {
@@ -41,6 +48,7 @@ impl Communicator {
         counters: SharedCounters,
         all_counters: Arc<Vec<SharedCounters>>,
         recv_timeout: Duration,
+        registry: Arc<WaitRegistry>,
     ) -> Self {
         Communicator {
             rank,
@@ -52,6 +60,7 @@ impl Communicator {
             counters,
             all_counters,
             recv_timeout,
+            registry,
         }
     }
 
@@ -93,9 +102,17 @@ impl Communicator {
     pub fn send_bytes(&self, dst: usize, tag: u64, payload: Bytes) -> Result<()> {
         self.check_rank(dst)?;
         let len = payload.len();
-        self.senders[dst]
+        // Count the message in flight *before* the enqueue: the deadlock
+        // detector must never observe a queued message with a zero counter.
+        self.registry.msg_sent(dst);
+        if self
+            .senders[dst]
             .send(Envelope::from_bytes(self.rank, tag, payload))
-            .map_err(|_| CommError::Disconnected { peer: dst })?;
+            .is_err()
+        {
+            self.registry.msg_unsent(dst);
+            return Err(CommError::Disconnected { peer: dst });
+        }
         self.counters.record_send(len);
         Ok(())
     }
@@ -103,34 +120,69 @@ impl Communicator {
     /// Blocking receive matching `(src, tag)` exactly.
     ///
     /// Out-of-order arrivals for other `(src, tag)` pairs are buffered and
-    /// delivered to their own matching `recv` calls later.
+    /// delivered to their own matching `recv` calls later. While blocked,
+    /// the rank is registered in the universe's wait-for graph and wakes
+    /// every [`DEADLOCK_POLL`] to run the deadlock detector: a protocol
+    /// bug (mismatched tags, one-sided exchange, wait cycle) returns
+    /// [`CommError::Deadlock`] with a per-rank diagnostic in well under a
+    /// second instead of burning the whole receive deadline.
     pub fn recv(&mut self, src: usize, tag: u64) -> Result<Bytes> {
         self.check_rank(src)?;
         // First consult the unexpected-message queue.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
-            let env = self.pending.remove(pos).expect("position just found");
+        if let Some(env) = self.take_pending(src, tag) {
             self.counters.record_recv(env.len());
             return Ok(env.payload);
         }
-        let deadline = Instant::now() + self.recv_timeout;
+        self.registry
+            .begin_wait(self.rank, WaitKind::Recv { src, tag }, self.pending.len());
+        let result = self.recv_blocking(src, tag);
+        self.registry.end_wait(self.rank);
+        result
+    }
+
+    /// Removes and returns the first buffered envelope matching
+    /// `(src, tag)`, keeping the registry's queue-depth diagnostic fresh.
+    fn take_pending(&mut self, src: usize, tag: u64) -> Option<Envelope> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)?;
+        let env = self.pending.remove(pos)?;
+        self.registry.set_pending_depth(self.rank, self.pending.len());
+        Some(env)
+    }
+
+    /// The blocked phase of [`Self::recv`]: poll-sliced mailbox waits with
+    /// deadlock detection at each slice expiry.
+    fn recv_blocking(&mut self, src: usize, tag: u64) -> Result<Bytes> {
+        let deadline = deadline_after(Instant::now(), self.recv_timeout);
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.rx.recv_timeout(remaining) {
-                Ok(env) if env.src == src && env.tag == tag => {
-                    self.counters.record_recv(env.len());
-                    return Ok(env.payload);
+            if remaining.is_zero() {
+                return Err(CommError::RecvTimeout {
+                    src,
+                    tag,
+                    waited: self.recv_timeout,
+                });
+            }
+            match self.rx.recv_timeout(remaining.min(DEADLOCK_POLL)) {
+                Ok(env) => {
+                    self.registry.msg_delivered(self.rank);
+                    if env.src == src && env.tag == tag {
+                        self.counters.record_recv(env.len());
+                        return Ok(env.payload);
+                    }
+                    self.pending.push_back(env);
+                    self.registry.set_pending_depth(self.rank, self.pending.len());
                 }
-                Ok(env) => self.pending.push_back(env),
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(CommError::RecvTimeout {
-                        src,
-                        tag,
-                        waited: self.recv_timeout,
-                    })
+                    if let Some(report) = self.registry.detect(self.rank) {
+                        return Err(CommError::Deadlock {
+                            rank: self.rank,
+                            stuck: report.stuck.clone(),
+                            detail: report.render(),
+                        });
+                    }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(CommError::Disconnected { peer: src })
@@ -186,9 +238,14 @@ impl Communicator {
         requests.into_iter().map(|r| self.wait(r)).collect()
     }
 
-    /// Synchronises all ranks.
+    /// Synchronises all ranks. The wait is registered in the wait-for
+    /// graph so other ranks' deadlock diagnostics can name barrier-blocked
+    /// peers, but a barrier itself cannot be interrupted.
     pub fn barrier(&self) {
+        self.registry
+            .begin_wait(self.rank, WaitKind::Barrier, self.pending.len());
         self.barrier.wait();
+        self.registry.end_wait(self.rank);
     }
 
     /// This rank's traffic counters.
@@ -204,6 +261,15 @@ impl Communicator {
     /// Resets this rank's counters (e.g. between benchmark phases).
     pub fn reset_stats(&self) {
         self.counters.reset();
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // A dropped rank can never send again; recording that lets the
+        // global-starvation rule diagnose one-sided exchanges where the
+        // peer has already returned.
+        self.registry.mark_done(self.rank);
     }
 }
 
@@ -272,7 +338,7 @@ mod tests {
 
     #[test]
     fn recv_timeout_reports_deadlock() {
-        let out = Universe::with_timeout(2, std::time::Duration::from_millis(50)).run(|c| {
+        let out = Universe::with_timeout(2, std::time::Duration::from_millis(120)).run(|c| {
             if c.rank() == 0 {
                 // Nobody ever sends tag 99.
                 c.recv(1, 99).unwrap_err()
@@ -280,9 +346,14 @@ mod tests {
                 CommError::InvalidConfig("placeholder")
             }
         });
+        // Once rank 1 returns, the wait-for graph proves nobody can send
+        // tag 99 and the receive fails with a diagnosis; if the detector's
+        // poll loses the race with the deadline, a plain timeout is also
+        // acceptable.
         match &out[0] {
+            CommError::Deadlock { rank: 0, stuck, .. } => assert_eq!(stuck, &vec![0]),
             CommError::RecvTimeout { src: 1, tag: 99, .. } => {}
-            other => panic!("expected timeout, got {other:?}"),
+            other => panic!("expected deadlock diagnosis, got {other:?}"),
         }
     }
 

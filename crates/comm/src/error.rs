@@ -36,6 +36,18 @@ pub enum CommError {
     },
     /// A configuration value was invalid (e.g. zero maximum message size).
     InvalidConfig(&'static str),
+    /// The wait-for-graph detector proved no rank can make progress: every
+    /// stuck rank waits on a peer that will never send. Carries the full
+    /// per-rank diagnostic so the failure names the protocol bug directly.
+    Deadlock {
+        /// Rank that raised the diagnosis.
+        rank: usize,
+        /// Ranks that can never be satisfied.
+        stuck: Vec<usize>,
+        /// Rendered per-rank wait-for table (rank → waiting-on peer/tag →
+        /// queue depths).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -52,6 +64,14 @@ impl fmt::Display for CommError {
                 write!(f, "rank {peer} disconnected (thread exited or panicked)")
             }
             CommError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CommError::Deadlock {
+                rank,
+                stuck,
+                detail,
+            } => write!(
+                f,
+                "deadlock detected at rank {rank}: ranks {stuck:?} can never be satisfied; {detail}"
+            ),
         }
     }
 }
@@ -76,6 +96,15 @@ mod tests {
         assert!(e.to_string().contains("rank 2"));
         let e = CommError::InvalidConfig("zero chunk");
         assert!(e.to_string().contains("zero chunk"));
+        let e = CommError::Deadlock {
+            rank: 0,
+            stuck: vec![0, 1],
+            detail: "rank 0 -> waiting on recv(src=1, tag=7)".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("[0, 1]"));
+        assert!(text.contains("tag=7"));
     }
 
     #[test]

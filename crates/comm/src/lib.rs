@@ -39,6 +39,7 @@
 pub mod chunking;
 pub mod collective;
 pub mod communicator;
+pub mod deadlock;
 pub mod error;
 pub mod message;
 pub mod nonblocking;

@@ -67,6 +67,15 @@ pub fn f64s_to_bytes_into(values: &[f64], out: &mut Vec<u8>) {
     }
 }
 
+/// Decodes one little-endian `f64` from an 8-byte chunk handed out by
+/// `chunks_exact(8)`, whose contract guarantees the length.
+#[inline]
+fn f64_le(chunk: &[u8]) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(chunk);
+    f64::from_le_bytes(b)
+}
+
 /// Decodes a byte payload produced by [`f64s_to_bytes`].
 ///
 /// # Panics
@@ -78,10 +87,7 @@ pub fn bytes_to_f64s(payload: &[u8]) -> Vec<f64> {
         "payload length {} is not a multiple of 8",
         payload.len()
     );
-    payload
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
-        .collect()
+    payload.chunks_exact(8).map(f64_le).collect()
 }
 
 /// Decodes a byte payload into a caller-provided `f64` buffer, avoiding an
@@ -98,7 +104,7 @@ pub fn bytes_to_f64s_into(payload: &[u8], out: &mut [f64]) {
         out.len()
     );
     for (slot, c) in out.iter_mut().zip(payload.chunks_exact(8)) {
-        *slot = f64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        *slot = f64_le(c);
     }
 }
 

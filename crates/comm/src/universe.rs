@@ -1,15 +1,35 @@
 //! Universe construction: spins up the ranks and hands out communicators.
 
 use crate::communicator::Communicator;
+use crate::deadlock::WaitRegistry;
 use crate::message::Envelope;
 use crate::stats::{SharedCounters, TrafficCounters};
 use qse_util::mailbox::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Duration;
 
 /// Default receive deadline; generous enough for debug-build statevector
 /// exchanges, short enough that a deadlocked test fails rather than hangs.
 pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Receive deadline used by [`Universe::new`]: `QSE_RECV_TIMEOUT_SECS`
+/// from the environment if set to a positive integer, else
+/// [`DEFAULT_RECV_TIMEOUT`]. Read once per process, so CI can run
+/// intentional-deadlock suites with a ~2 s ceiling instead of 60 s.
+pub fn default_recv_timeout() -> Duration {
+    static T: OnceLock<Duration> = OnceLock::new();
+    *T.get_or_init(|| recv_timeout_from_env(std::env::var("QSE_RECV_TIMEOUT_SECS").ok().as_deref()))
+}
+
+/// Pure parsing half of [`default_recv_timeout`], split out for tests
+/// (the env var itself is latched once per process).
+pub fn recv_timeout_from_env(value: Option<&str>) -> Duration {
+    value
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&secs| secs >= 1)
+        .map(Duration::from_secs)
+        .unwrap_or(DEFAULT_RECV_TIMEOUT)
+}
 
 /// A fixed-size set of ranks with fully connected mailboxes.
 ///
@@ -24,12 +44,14 @@ pub struct Universe {
     barrier: Arc<Barrier>,
     counters: Arc<Vec<SharedCounters>>,
     recv_timeout: Duration,
+    registry: Arc<WaitRegistry>,
 }
 
 impl Universe {
-    /// Creates a universe of `size` ranks (size ≥ 1).
+    /// Creates a universe of `size` ranks (size ≥ 1) with the
+    /// [`default_recv_timeout`] receive deadline.
     pub fn new(size: usize) -> Self {
-        Self::with_timeout(size, DEFAULT_RECV_TIMEOUT)
+        Self::with_timeout(size, default_recv_timeout())
     }
 
     /// Creates a universe with a custom receive deadline (mainly for tests
@@ -52,6 +74,7 @@ impl Universe {
             barrier: Arc::new(Barrier::new(size)),
             counters: Arc::new(counters),
             recv_timeout,
+            registry: Arc::new(WaitRegistry::new(size)),
         }
     }
 
@@ -77,14 +100,16 @@ impl Universe {
                     Arc::clone(&self.counters[rank]),
                     Arc::clone(&self.counters),
                     self.recv_timeout,
+                    Arc::clone(&self.registry),
                 )
             })
             .collect()
     }
 
     /// Runs `f` on every rank in its own thread and returns the results in
-    /// rank order. Panics in any rank propagate (the run is aborted), so a
-    /// failed assertion inside a rank fails the enclosing test.
+    /// rank order. A panic in any rank is re-raised on the caller with its
+    /// original payload, so a failed assertion inside a rank fails the
+    /// enclosing test with its own message.
     pub fn run<R, F>(self, f: F) -> Vec<R>
     where
         R: Send,
@@ -99,7 +124,10 @@ impl Universe {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
     }
@@ -167,12 +195,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "boom")]
     fn rank_panic_fails_run() {
+        // The original payload must survive the join (resume_unwind).
         Universe::new(2).run(|c| {
             if c.rank() == 1 {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn recv_timeout_env_parsing() {
+        assert_eq!(recv_timeout_from_env(None), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(recv_timeout_from_env(Some("2")), Duration::from_secs(2));
+        assert_eq!(recv_timeout_from_env(Some(" 5 ")), Duration::from_secs(5));
+        assert_eq!(recv_timeout_from_env(Some("0")), DEFAULT_RECV_TIMEOUT);
+        assert_eq!(recv_timeout_from_env(Some("junk")), DEFAULT_RECV_TIMEOUT);
+        assert!(default_recv_timeout() >= Duration::from_secs(1));
     }
 }

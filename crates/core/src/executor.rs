@@ -67,13 +67,17 @@ impl ThreadClusterExecutor {
             let mut profile = ClassProfile::default();
             for (gate, &class) in circuit.gates().iter().zip(&classes) {
                 let g0 = Instant::now();
-                st.apply(gate);
+                st.apply(gate).expect("cluster run failed");
                 profile.record(class, g0.elapsed());
             }
             st.barrier();
             let wall = t0.elapsed().as_secs_f64();
             let stats = st.stats();
-            let state = if gather { st.gather() } else { None };
+            let state = if gather {
+                st.gather().expect("gather failed")
+            } else {
+                None
+            };
             (wall, profile, stats, state)
         });
 

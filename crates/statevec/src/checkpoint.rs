@@ -66,11 +66,9 @@ pub fn load<S: AmpStorage>(bytes: &[u8]) -> Result<SingleState<S>, CheckpointErr
     if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    let n_qubits = u32::from_le_bytes(
-        bytes[MAGIC.len()..MAGIC.len() + 4]
-            .try_into()
-            .expect("4 header bytes"),
-    );
+    let mut header = [0u8; 4];
+    header.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
+    let n_qubits = u32::from_le_bytes(header);
     if n_qubits == 0 || n_qubits > 30 {
         return Err(CheckpointError::BadWidth(n_qubits));
     }
@@ -81,9 +79,12 @@ pub fn load<S: AmpStorage>(bytes: &[u8]) -> Result<SingleState<S>, CheckpointErr
         return Err(CheckpointError::LengthMismatch { expected, actual });
     }
     let mut state: SingleState<S> = SingleState::zero_state(n_qubits);
+    let mut word = [0u8; 8];
     for (i, chunk) in payload.chunks_exact(16).enumerate() {
-        let re = f64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
-        let im = f64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+        word.copy_from_slice(&chunk[..8]);
+        let re = f64::from_le_bytes(word);
+        word.copy_from_slice(&chunk[8..]);
+        let im = f64::from_le_bytes(word);
         state.set_amplitude(i as u64, Complex64::new(re, im));
     }
     Ok(state)

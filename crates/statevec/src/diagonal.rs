@@ -86,7 +86,7 @@ pub fn diagonal_phase(gate: &Gate, index: u64) -> Complex64 {
             let idx = ((bits::bit(index, b) << 1) | bits::bit(index, a)) as usize;
             matrix.at(idx, idx)
         }
-        ref g => panic!("diagonal_phase called on non-diagonal gate {g}"),
+        ref g => unreachable!("diagonal_phase called on non-diagonal gate {g}"),
     }
 }
 
@@ -215,7 +215,7 @@ impl PhaseOp {
                     ],
                 }
             }
-            ref g => panic!("PhaseOp::compile called on non-diagonal gate {g}"),
+            ref g => unreachable!("PhaseOp::compile called on non-diagonal gate {g}"),
         }
     }
 

@@ -25,6 +25,7 @@ use qse_circuit::{Circuit, Gate};
 use qse_comm::chunking::{exchange, ChunkPolicy, ExchangeMode};
 use qse_comm::collective;
 use qse_comm::message::{bytes_to_f64s, bytes_to_f64s_into, f64s_to_bytes, f64s_to_bytes_into};
+use qse_comm::Result as CommResult;
 use qse_comm::{Communicator, TrafficStats};
 use qse_math::bits;
 use qse_math::Complex64;
@@ -51,7 +52,9 @@ impl Default for DistConfig {
     fn default() -> Self {
         DistConfig {
             exchange_mode: ExchangeMode::Blocking,
-            chunk_policy: ChunkPolicy::new(1 << 20).expect("nonzero"),
+            chunk_policy: ChunkPolicy {
+                max_message_bytes: 1 << 20,
+            },
             half_exchange_swaps: false,
             min_fuse: Some(DEFAULT_MIN_FUSE),
         }
@@ -157,7 +160,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// scratch buffers. The returned vector is the `recv_f64` scratch,
     /// taken with `mem::take` — callers hand it back via
     /// [`Self::release_recv`] once the combine is done.
-    fn exchange_full(&mut self, peer: usize, tag: u64) -> Vec<f64> {
+    fn exchange_full(&mut self, peer: usize, tag: u64) -> CommResult<Vec<f64>> {
         self.amps.write_f64_into(&mut self.send_f64);
         self.staged_exchange(peer, tag)
     }
@@ -165,7 +168,13 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// Half exchange for SWAPs: ship only the amplitudes whose `local_q`
     /// bit equals `send_v`; receive the peer's complementary half. Same
     /// scratch-buffer protocol as [`Self::exchange_full`].
-    fn exchange_half(&mut self, peer: usize, tag: u64, local_q: u32, send_v: u64) -> Vec<f64> {
+    fn exchange_half(
+        &mut self,
+        peer: usize,
+        tag: u64,
+        local_q: u32,
+        send_v: u64,
+    ) -> CommResult<Vec<f64>> {
         self.amps
             .extract_half_bit_into(local_q, send_v, &mut self.send_f64);
         self.staged_exchange(peer, tag)
@@ -174,7 +183,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// Ships whatever `exchange_full`/`exchange_half` staged in
     /// `send_f64` and decodes the peer's reply into the `recv_f64`
     /// scratch (lent out; return it with [`Self::release_recv`]).
-    fn staged_exchange(&mut self, peer: usize, tag: u64) -> Vec<f64> {
+    fn staged_exchange(&mut self, peer: usize, tag: u64) -> CommResult<Vec<f64>> {
         f64s_to_bytes_into(&self.send_f64, &mut self.send_bytes);
         exchange(
             self.config.exchange_mode,
@@ -185,12 +194,11 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             &mut self.recv_bytes,
             self.send_bytes.len(),
             self.config.chunk_policy,
-        )
-        .expect("exchange failed");
+        )?;
         let mut out = std::mem::take(&mut self.recv_f64);
         out.resize(self.recv_bytes.len() / 8, 0.0);
         bytes_to_f64s_into(&self.recv_bytes, &mut out);
-        out
+        Ok(out)
     }
 
     /// Returns the receive scratch lent out by an exchange so the next
@@ -200,7 +208,9 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     }
 
     /// Applies one gate, communicating as its locality class requires.
-    pub fn apply(&mut self, gate: &Gate) {
+    /// Fails only when the underlying exchange fails (peer disconnected,
+    /// deadlock diagnosed) — pure-local gates always succeed.
+    pub fn apply(&mut self, gate: &Gate) -> CommResult<()> {
         assert!(
             gate.max_qubit() < self.layout.n_qubits(),
             "gate out of range"
@@ -210,24 +220,30 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 let offset = self.rank_offset();
                 self.amps
                     .apply_phase_fn(offset, &|i| diagonal_phase(gate, i));
+                Ok(())
             }
-            GateClass::LocalMemory => match *gate {
-                Gate::Swap(a, b) => self.amps.swap_local(a, b),
-                Gate::Unitary2 { a, b, ref matrix } => self.amps.apply_orbit4(a, b, matrix),
-                ref g => {
-                    let m = g.matrix1().expect("single-target matrix");
-                    match g.control() {
-                        Some(c) if !self.layout.is_local(c) => {
-                            // Global control: this rank applies the plain
-                            // gate iff its control bit is set.
-                            if self.rank_bit_value(c) == 1 {
-                                self.amps.apply_pairs(g.target(), &m, None);
+            GateClass::LocalMemory => {
+                match *gate {
+                    Gate::Swap(a, b) => self.amps.swap_local(a, b),
+                    Gate::Unitary2 { a, b, ref matrix } => self.amps.apply_orbit4(a, b, matrix),
+                    ref g => {
+                        let Some(m) = g.matrix1() else {
+                            unreachable!("classify only routes single-target gates here")
+                        };
+                        match g.control() {
+                            Some(c) if !self.layout.is_local(c) => {
+                                // Global control: this rank applies the plain
+                                // gate iff its control bit is set.
+                                if self.rank_bit_value(c) == 1 {
+                                    self.amps.apply_pairs(g.target(), &m, None);
+                                }
                             }
+                            ctrl => self.amps.apply_pairs(g.target(), &m, ctrl),
                         }
-                        ctrl => self.amps.apply_pairs(g.target(), &m, ctrl),
                     }
                 }
-            },
+                Ok(())
+            }
             GateClass::Distributed => {
                 let tag = self.next_tag();
                 match *gate {
@@ -236,8 +252,10 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                         self.distributed_unitary2(a, b, matrix, tag)
                     }
                     ref g => {
-                        let m = g.matrix1().expect("single-target matrix");
-                        self.distributed_1q(&m, g.target(), g.control(), tag);
+                        let Some(m) = g.matrix1() else {
+                            unreachable!("classify only routes single-target gates here")
+                        };
+                        self.distributed_1q(&m, g.target(), g.control(), tag)
                     }
                 }
             }
@@ -258,25 +276,26 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         target: u32,
         control: Option<u32>,
         tag: u64,
-    ) {
+    ) -> CommResult<()> {
         // A *global* control gates participation: ranks with the bit clear
         // are spectators (their pair rank shares the same control bit, so
         // neither side exchanges anything).
         let control_local = match control {
             Some(c) if !self.layout.is_local(c) => {
                 if self.rank_bit_value(c) == 0 {
-                    return;
+                    return Ok(());
                 }
                 None
             }
             other => other,
         };
         let pair = self.layout.pair_rank(self.rank() as u64, target) as usize;
-        let theirs = self.exchange_full(pair, tag);
+        let theirs = self.exchange_full(pair, tag)?;
         let b = self.rank_bit_value(target) as usize;
         self.amps
             .combine_rows(m.at(b, b), m.at(b, 1 - b), &theirs, control_local);
         self.release_recv(theirs);
+        Ok(())
     }
 
     /// Distributed general two-qubit unitary.
@@ -286,7 +305,13 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// style decomposition — SWAP the lower global qubit with a free
     /// local qubit, apply the one-global form, SWAP back (three
     /// exchanges; the transpiler exists precisely to avoid paying this).
-    fn distributed_unitary2(&mut self, a: u32, b: u32, m: &qse_math::Matrix4, tag: u64) {
+    fn distributed_unitary2(
+        &mut self,
+        a: u32,
+        b: u32,
+        m: &qse_math::Matrix4,
+        tag: u64,
+    ) -> CommResult<()> {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         if self.layout.is_local(lo) {
             // `lo` local, `hi` global: orbit basis must be |hi lo⟩; if the
@@ -300,7 +325,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             };
             let g = self.rank_bit_value(hi);
             let pair = self.layout.pair_rank(self.rank() as u64, hi) as usize;
-            let theirs = self.exchange_full(pair, tag);
+            let theirs = self.exchange_full(pair, tag)?;
             self.amps.combine_orbit4(lo, g, &m_ord, &theirs);
             self.release_recv(theirs);
         } else {
@@ -308,7 +333,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             // local qubit (qubit 0 is never one of a/b here), using the
             // same wire tag sequencing on every rank.
             let temp = 0u32;
-            self.distributed_swap(temp, lo, tag);
+            self.distributed_swap(temp, lo, tag)?;
             let m_ord = if a == lo {
                 *m
             } else {
@@ -316,15 +341,16 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 s.matmul(&m.matmul(&s))
             };
             let tag2 = self.next_tag();
-            self.distributed_unitary2(temp, hi, &m_ord, tag2);
+            self.distributed_unitary2(temp, hi, &m_ord, tag2)?;
             let tag3 = self.next_tag();
-            self.distributed_swap(temp, lo, tag3);
+            self.distributed_swap(temp, lo, tag3)?;
         }
+        Ok(())
     }
 
     /// Distributed SWAP. One-global case supports the half exchange;
     /// both-global is a pure block permutation between rank pairs.
-    fn distributed_swap(&mut self, a: u32, b: u32, tag: u64) {
+    fn distributed_swap(&mut self, a: u32, b: u32, tag: u64) -> CommResult<()> {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         if self.layout.is_local(lo) {
             // One local qubit `lo`, one global qubit `hi`.
@@ -334,12 +360,12 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 // Send the half the peer needs (bit_lo == 1−g), receive the
                 // half we need (bit_lo == g on their side), and write it
                 // into our bit_lo == 1−g slots.
-                let recv = self.exchange_half(pair, tag, lo, 1 - g);
+                let recv = self.exchange_half(pair, tag, lo, 1 - g)?;
                 self.amps.write_half_bit(lo, 1 - g, &recv);
                 self.release_recv(recv);
             } else {
                 // QuEST-style: exchange everything, use half of it.
-                let theirs = self.exchange_full(pair, tag);
+                let theirs = self.exchange_full(pair, tag)?;
                 let half = self.amps.len() as u64 / 2;
                 for k in 0..half {
                     let l = bits::insert_zero_bit(k, lo) | ((1 - g) << lo);
@@ -357,19 +383,20 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             let x = self.rank_bit_value(lo);
             let y = self.rank_bit_value(hi);
             if x == y {
-                return;
+                return Ok(());
             }
             let mask =
                 (1u64 << self.layout.rank_bit(lo)) | (1u64 << self.layout.rank_bit(hi));
             let pair = (self.rank() as u64 ^ mask) as usize;
-            let theirs = self.exchange_full(pair, tag);
+            let theirs = self.exchange_full(pair, tag)?;
             self.amps.copy_from_f64(&theirs);
             self.release_recv(theirs);
         }
+        Ok(())
     }
 
     /// Runs a circuit, honouring the fusion setting.
-    pub fn run(&mut self, circuit: &Circuit) {
+    pub fn run(&mut self, circuit: &Circuit) -> CommResult<()> {
         assert_eq!(
             circuit.n_qubits(),
             self.layout.n_qubits(),
@@ -378,14 +405,14 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         match self.config.min_fuse {
             None => {
                 for g in circuit.gates() {
-                    self.apply(g);
+                    self.apply(g)?;
                 }
             }
             Some(min_fuse) => {
                 let offset = self.rank_offset();
                 for step in fused_schedule(circuit, min_fuse) {
                     match step {
-                        ScheduleStep::Single(i) => self.apply(&circuit.gates()[i]),
+                        ScheduleStep::Single(i) => self.apply(&circuit.gates()[i])?,
                         ScheduleStep::Fused(run) => {
                             let compiled =
                                 CompiledDiagonal::compile(&circuit.gates()[run.start..run.end]);
@@ -395,16 +422,17 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Global Σ|amp|² via all-reduce.
-    pub fn norm_sqr(&mut self) -> f64 {
+    pub fn norm_sqr(&mut self) -> CommResult<f64> {
         let local = self.amps.norm_sqr_sum();
-        collective::allreduce_sum_f64(self.comm, &[local]).expect("allreduce")[0]
+        Ok(collective::allreduce_sum_f64(self.comm, &[local])?[0])
     }
 
     /// Global probability that measuring `qubit` yields 1.
-    pub fn prob_one(&mut self, qubit: u32) -> f64 {
+    pub fn prob_one(&mut self, qubit: u32) -> CommResult<f64> {
         let local = if self.layout.is_local(qubit) {
             let mask = 1u64 << qubit;
             let mut p = 0.0;
@@ -419,13 +447,16 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         } else {
             0.0
         };
-        collective::allreduce_sum_f64(self.comm, &[local]).expect("allreduce")[0]
+        Ok(collective::allreduce_sum_f64(self.comm, &[local])?[0])
     }
 
     /// Expectation value ⟨ψ|P|ψ⟩ of a Pauli string on the distributed
     /// state — collective: applies the Paulis (communicating for global
     /// X/Y), all-reduces `⟨ψ, Pψ⟩`, and restores the original amplitudes.
-    pub fn pauli_expectation(&mut self, string: &[(u32, crate::expectation::Pauli)]) -> f64 {
+    pub fn pauli_expectation(
+        &mut self,
+        string: &[(u32, crate::expectation::Pauli)],
+    ) -> CommResult<f64> {
         use crate::expectation::Pauli;
         {
             let mut seen = std::collections::HashSet::new();
@@ -441,7 +472,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 Pauli::Y => Gate::Y(q),
                 Pauli::Z => Gate::Z(q),
             };
-            self.apply(&gate);
+            self.apply(&gate)?;
         }
         let mut local = [0.0f64; 2];
         for i in 0..saved.len() {
@@ -449,10 +480,10 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             local[0] += v.re;
             local[1] += v.im;
         }
-        let total = collective::allreduce_sum_f64(self.comm, &local).expect("allreduce");
+        let total = collective::allreduce_sum_f64(self.comm, &local)?;
         self.amps = saved;
         debug_assert!(total[1].abs() < 1e-9, "non-real expectation");
-        total[0]
+        Ok(total[0])
     }
 
     /// Projects `qubit` onto `bit` and renormalises — the distributed
@@ -462,8 +493,8 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// # Panics
     /// Panics when the requested outcome has (numerically) zero
     /// probability.
-    pub fn collapse(&mut self, qubit: u32, bit: u8) {
-        let p1 = self.prob_one(qubit);
+    pub fn collapse(&mut self, qubit: u32, bit: u8) -> CommResult<()> {
+        let p1 = self.prob_one(qubit)?;
         let p = if bit == 1 { p1 } else { 1.0 - p1 };
         assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
         let scale = 1.0 / p.sqrt();
@@ -486,29 +517,34 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         } else {
             self.amps.fill_zero();
         }
+        Ok(())
     }
 
     /// Measures `qubit` collectively: rank 0 draws the outcome from the
     /// global distribution (using the uniform sample `u ∈ [0,1)` it
     /// broadcasts), all ranks collapse identically, and the observed bit
     /// is returned on every rank.
-    pub fn measure_qubit(&mut self, qubit: u32, u: f64) -> u8 {
+    pub fn measure_qubit(&mut self, qubit: u32, u: f64) -> CommResult<u8> {
         // Broadcast rank 0's u so all ranks agree even if callers passed
         // rank-local randomness.
         let u_bytes = u.to_le_bytes();
-        let agreed = collective::broadcast(self.comm, 0, &u_bytes).expect("broadcast");
-        let u = f64::from_le_bytes(agreed[..8].try_into().expect("8 bytes"));
-        let p1 = self.prob_one(qubit);
+        let agreed = collective::broadcast(self.comm, 0, &u_bytes)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&agreed[..8]);
+        let u = f64::from_le_bytes(b);
+        let p1 = self.prob_one(qubit)?;
         let bit = u8::from(u < p1);
-        self.collapse(qubit, bit);
-        bit
+        self.collapse(qubit, bit)?;
+        Ok(bit)
     }
 
     /// Gathers the full statevector on rank 0 (`None` elsewhere).
     /// Test-scale only: allocates the entire `2^n` vector.
-    pub fn gather(&mut self) -> Option<Vec<Complex64>> {
+    pub fn gather(&mut self) -> CommResult<Option<Vec<Complex64>>> {
         let local = f64s_to_bytes(&self.amps.to_f64_vec());
-        let parts = collective::gather(self.comm, 0, &local).expect("gather")?;
+        let Some(parts) = collective::gather(self.comm, 0, &local)? else {
+            return Ok(None);
+        };
         let mut full = Vec::with_capacity((self.layout.local_amps() as usize) * parts.len());
         for part in parts {
             let values = bytes_to_f64s(&part);
@@ -516,7 +552,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 full.push(Complex64::new(pair[0], pair[1]));
             }
         }
-        Some(full)
+        Ok(Some(full))
     }
 }
 
@@ -543,8 +579,8 @@ mod tests {
         let out = Universe::new(ranks).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::basis_state(comm, circuit.n_qubits(), basis, config);
-            st.run(circuit);
-            st.gather()
+            st.run(circuit).unwrap();
+            st.gather().unwrap()
         });
         out.into_iter().flatten().next().expect("rank 0 gathered")
     }
@@ -654,7 +690,7 @@ mod tests {
             let stats = Universe::new(4).run(|comm| {
                 let mut st: DistributedState<SoaStorage> =
                     DistributedState::zero_state(comm, 6, config);
-                st.run(&c);
+                st.run(&c).unwrap();
                 st.barrier();
                 st.stats().bytes_sent
             });
@@ -695,8 +731,8 @@ mod tests {
         let aos_out = Universe::new(4).run(|comm| {
             let mut st: DistributedState<AosStorage> =
                 DistributedState::zero_state(comm, 6, DistConfig::default());
-            st.run(&c);
-            st.gather()
+            st.run(&c).unwrap();
+            st.gather().unwrap()
         });
         let aos = aos_out.into_iter().flatten().next().unwrap();
         assert_slices_close(&soa, &aos, 1e-12);
@@ -725,12 +761,12 @@ mod tests {
         Universe::new(4).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 6, DistConfig::default());
-            st.apply(&Gate::H(5)); // distributed H on the top qubit
-            assert_close(st.norm_sqr(), 1.0, 1e-12);
-            assert_close(st.prob_one(5), 0.5, 1e-12);
-            assert_close(st.prob_one(0), 0.0, 1e-12);
-            st.apply(&Gate::H(2)); // local H
-            assert_close(st.prob_one(2), 0.5, 1e-12);
+            st.apply(&Gate::H(5)).unwrap(); // distributed H on the top qubit
+            assert_close(st.norm_sqr().unwrap(), 1.0, 1e-12);
+            assert_close(st.prob_one(5).unwrap(), 0.5, 1e-12);
+            assert_close(st.prob_one(0).unwrap(), 0.0, 1e-12);
+            st.apply(&Gate::H(2)).unwrap(); // local H
+            assert_close(st.prob_one(2).unwrap(), 0.5, 1e-12);
         });
     }
 
@@ -741,7 +777,7 @@ mod tests {
         let stats = Universe::new(4).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 6, DistConfig::default());
-            st.apply(&Gate::H(5));
+            st.apply(&Gate::H(5)).unwrap();
             st.barrier();
             st.stats()
         });
@@ -756,13 +792,14 @@ mod tests {
         let stats = Universe::new(4).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 6, DistConfig::default());
-            st.apply(&Gate::Z(5));
+            st.apply(&Gate::Z(5)).unwrap();
             st.apply(&Gate::CPhase {
                 a: 4,
                 b: 5,
                 theta: 0.3,
-            });
-            st.apply(&Gate::T(5));
+            })
+            .unwrap();
+            st.apply(&Gate::T(5)).unwrap();
             st.barrier();
             st.stats()
         });
@@ -784,7 +821,7 @@ mod tests {
         let stats = Universe::new(4).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::basis_state(comm, 6, 0b100000, DistConfig::default());
-            st.run(&c);
+            st.run(&c).unwrap();
             st.barrier();
             st.stats().bytes_sent
         });
@@ -817,12 +854,15 @@ mod tests {
         let got = Universe::new(4).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 6, DistConfig::default());
-            st.run(&c);
-            let values: Vec<f64> = strings.iter().map(|s| st.pauli_expectation(s)).collect();
+            st.run(&c).unwrap();
+            let values: Vec<f64> = strings
+                .iter()
+                .map(|s| st.pauli_expectation(s).unwrap())
+                .collect();
             // The state is restored afterwards: norm still 1 and a
             // second evaluation agrees.
-            assert_close(st.norm_sqr(), 1.0, 1e-9);
-            assert_close(st.pauli_expectation(&strings[0]), values[0], 1e-12);
+            assert_close(st.norm_sqr().unwrap(), 1.0, 1e-9);
+            assert_close(st.pauli_expectation(&strings[0]).unwrap(), values[0], 1e-12);
             values
         });
         for rank_values in got {
@@ -844,11 +884,11 @@ mod tests {
         let collapsed = Universe::new(4).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 6, DistConfig::default());
-            st.run(&c);
-            st.collapse(5, 1); // global qubit
-            assert_close(st.norm_sqr(), 1.0, 1e-12);
-            st.collapse(0, 1); // local qubit: already determined, p = 1
-            st.gather()
+            st.run(&c).unwrap();
+            st.collapse(5, 1).unwrap(); // global qubit
+            assert_close(st.norm_sqr().unwrap(), 1.0, 1e-12);
+            st.collapse(0, 1).unwrap(); // local qubit: already determined, p = 1
+            st.gather().unwrap()
         });
         let got = collapsed.into_iter().flatten().next().unwrap();
         // GHZ collapsed onto |111111⟩.
@@ -863,10 +903,10 @@ mod tests {
             let bits = Universe::new(4).run(|comm| {
                 let mut st: DistributedState<SoaStorage> =
                     DistributedState::zero_state(comm, 6, DistConfig::default());
-                st.run(&c);
-                let bit = st.measure_qubit(5, u);
-                assert_close(st.norm_sqr(), 1.0, 1e-12);
-                assert_close(st.prob_one(5), bit as f64, 1e-12);
+                st.run(&c).unwrap();
+                let bit = st.measure_qubit(5, u).unwrap();
+                assert_close(st.norm_sqr().unwrap(), 1.0, 1e-12);
+                assert_close(st.prob_one(5).unwrap(), bit as f64, 1e-12);
                 bit
             });
             // every rank observed the same bit, decided by u vs 0.5
@@ -890,10 +930,10 @@ mod tests {
             let gathered = Universe::new(4).run(|comm| {
                 let mut st: DistributedState<SoaStorage> =
                     DistributedState::zero_state(comm, 6, DistConfig::default());
-                st.run(&c);
-                let bit = st.measure_qubit(3, u);
+                st.run(&c).unwrap();
+                let bit = st.measure_qubit(3, u).unwrap();
                 assert_eq!(bit, out.bit, "bit mismatch at u = {u}");
-                st.gather()
+                st.gather().unwrap()
             });
             let got = gathered.into_iter().flatten().next().unwrap();
             assert_slices_close(&got, &single.to_vec(), 1e-9);
@@ -901,12 +941,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    #[should_panic(expected = "zero-probability")]
     fn impossible_distributed_collapse_panics() {
         Universe::new(2).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 4, DistConfig::default());
-            st.collapse(3, 1); // |0000⟩ has zero probability of bit 1
+            st.collapse(3, 1).unwrap(); // |0000⟩ has zero probability of bit 1
         });
     }
 
@@ -919,7 +959,7 @@ mod tests {
             let stats = Universe::new(8).run(|comm| {
                 let mut st: DistributedState<SoaStorage> =
                     DistributedState::zero_state(comm, n, DistConfig::default());
-                st.run(c);
+                st.run(c).unwrap();
                 st.barrier();
                 st.stats().bytes_sent
             });

@@ -7,7 +7,7 @@
 //! against this on random circuits. Usable up to ~20 qubits in tests.
 
 use qse_circuit::{Circuit, Gate};
-use qse_math::{Complex64, Matrix2};
+use qse_math::Complex64;
 
 /// Full `2^n` amplitude vector evolved gate by gate.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +96,9 @@ impl ReferenceState {
                 }
             }
             ref g => {
-                let m: Matrix2 = g.matrix1().expect("single-target gate");
+                let Some(m) = g.matrix1() else {
+                    unreachable!("all remaining gate kinds are single-target")
+                };
                 let t = g.target();
                 let control = g.control();
                 for i in 0..dim {

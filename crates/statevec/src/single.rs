@@ -80,7 +80,9 @@ impl<S: AmpStorage> SingleState<S> {
             Gate::Swap(a, b) => self.amps.swap_local(a, b),
             Gate::Unitary2 { a, b, ref matrix } => self.amps.apply_orbit4(a, b, matrix),
             ref g => {
-                let m = g.matrix1().expect("single-target gate");
+                let Some(m) = g.matrix1() else {
+                    unreachable!("all remaining gate kinds are single-target")
+                };
                 // CNot / CUnitary carry a control; everything else is plain.
                 self.amps.apply_pairs(g.target(), &m, g.control());
             }

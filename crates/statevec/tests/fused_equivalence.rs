@@ -77,8 +77,8 @@ fn dist_gather<S: AmpStorage>(
     let out = Universe::new(ranks).run(|comm| {
         let mut st: DistributedState<S> =
             DistributedState::basis_state(comm, circuit.n_qubits(), basis, config);
-        st.run(circuit);
-        st.gather()
+        st.run(circuit).unwrap();
+        st.gather().unwrap()
     });
     out.into_iter().flatten().next().expect("rank 0 gathered")
 }

@@ -17,7 +17,10 @@
 //! * [`check`] — seeded property loops with deterministic shrink-by-
 //!   halving (replaces `proptest`);
 //! * [`bench`] — a warmup + median-of-N timing harness with JSON output
-//!   (replaces `criterion`).
+//!   (replaces `criterion`);
+//! * [`sync`] — the pluggable `sync_point()` scheduling hook that lets
+//!   `qse-check`'s interleaving explorer drive the mailbox and pool
+//!   (no-op unless a checker installs a hook).
 
 pub mod bench;
 pub mod bytes;
@@ -26,6 +29,7 @@ pub mod json;
 pub mod mailbox;
 pub mod parallel;
 pub mod rng;
+pub mod sync;
 
 pub use bytes::Bytes;
 pub use json::{Json, ToJson};

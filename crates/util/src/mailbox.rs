@@ -10,9 +10,25 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::sync::{self, SyncOp};
+
+/// Saturating deadline arithmetic: `now + timeout` would panic inside
+/// `Instant`'s `Add` impl for huge durations (`Duration::MAX` overflows
+/// the platform clock representation), so saturate to a far-future
+/// deadline instead — a year out is indistinguishable from forever for a
+/// blocking receive.
+pub fn deadline_after(now: Instant, timeout: Duration) -> Instant {
+    const FAR: Duration = Duration::from_secs(365 * 24 * 60 * 60);
+    now.checked_add(timeout)
+        .or_else(|| now.checked_add(FAR))
+        .unwrap_or(now)
+}
+
 struct Shared<T> {
     inner: Mutex<Inner<T>>,
     available: Condvar,
+    /// Process-unique id reported to the scheduling hook.
+    chan: u64,
 }
 
 struct Inner<T> {
@@ -55,6 +71,7 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
             receiver_gone: false,
         }),
         available: Condvar::new(),
+        chan: sync::new_channel_id(),
     });
     (
         Sender {
@@ -68,6 +85,9 @@ impl<T> Sender<T> {
     /// Enqueues `value`; never blocks. Fails only when the receiver has
     /// been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        sync::sync_point(SyncOp::MailboxSend {
+            chan: self.shared.chan,
+        });
         let mut inner = self.shared.inner.lock().expect("mailbox poisoned");
         if inner.receiver_gone {
             return Err(SendError(value));
@@ -75,6 +95,7 @@ impl<T> Sender<T> {
         inner.queue.push_back(value);
         drop(inner);
         self.shared.available.notify_one();
+        sync::notify_channel(self.shared.chan, false);
         Ok(())
     }
 }
@@ -97,14 +118,24 @@ impl<T> Drop for Sender<T> {
         if last {
             // Wake a blocked receiver so it can observe disconnection.
             self.shared.available.notify_all();
+            sync::notify_channel(self.shared.chan, true);
         }
     }
 }
 
 impl<T> Receiver<T> {
     /// Dequeues the next message, waiting up to `timeout`.
+    ///
+    /// Under an installed [`crate::sync::ScheduleHook`], a participant
+    /// thread waits inside the controlled scheduler instead of the
+    /// condvar; the timeout is then *modelled* — the receive times out
+    /// only when the scheduler proves no runnable thread can ever notify
+    /// this channel, keeping explorations deterministic.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        sync::sync_point(SyncOp::MailboxRecv {
+            chan: self.shared.chan,
+        });
+        let deadline = deadline_after(Instant::now(), timeout);
         let mut inner = self.shared.inner.lock().expect("mailbox poisoned");
         loop {
             if let Some(value) = inner.queue.pop_front() {
@@ -113,22 +144,38 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(RecvTimeoutError::Timeout);
-            }
-            let (guard, wait) = self
-                .shared
-                .available
-                .wait_timeout(inner, remaining)
-                .expect("mailbox poisoned");
-            inner = guard;
-            if wait.timed_out() && inner.queue.is_empty() {
-                return Err(if inner.senders == 0 {
-                    RecvTimeoutError::Disconnected
-                } else {
-                    RecvTimeoutError::Timeout
-                });
+            if let Some(hook) = sync::participant_hook() {
+                drop(inner);
+                let notified = hook.wait_channel(self.shared.chan);
+                inner = self.shared.inner.lock().expect("mailbox poisoned");
+                if !notified {
+                    if let Some(value) = inner.queue.pop_front() {
+                        return Ok(value);
+                    }
+                    return Err(if inner.senders == 0 {
+                        RecvTimeoutError::Disconnected
+                    } else {
+                        RecvTimeoutError::Timeout
+                    });
+                }
+            } else {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, wait) = self
+                    .shared
+                    .available
+                    .wait_timeout(inner, remaining)
+                    .expect("mailbox poisoned");
+                inner = guard;
+                if wait.timed_out() && inner.queue.is_empty() {
+                    return Err(if inner.senders == 0 {
+                        RecvTimeoutError::Disconnected
+                    } else {
+                        RecvTimeoutError::Timeout
+                    });
+                }
             }
         }
     }
@@ -136,6 +183,9 @@ impl<T> Receiver<T> {
     /// Dequeues without waiting; `None` when the queue is empty (even if
     /// senders remain).
     pub fn try_recv(&self) -> Option<T> {
+        sync::sync_point(SyncOp::MailboxTryRecv {
+            chan: self.shared.chan,
+        });
         self.shared
             .inner
             .lock()
@@ -215,6 +265,29 @@ mod tests {
             tx.send(123u32).unwrap();
         });
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(123));
+    }
+
+    #[test]
+    fn deadline_after_saturates_instead_of_panicking() {
+        let now = Instant::now();
+        // `now + Duration::MAX` panics; the helper must not.
+        let far = deadline_after(now, Duration::MAX);
+        assert!(far > now);
+        // Ordinary timeouts are exact.
+        let soon = deadline_after(now, Duration::from_millis(5));
+        assert_eq!(soon, now + Duration::from_millis(5));
+    }
+
+    #[test]
+    fn recv_with_huge_timeout_still_receives() {
+        // Regression: recv_timeout(Duration::MAX) used to panic computing
+        // the deadline before ever waiting.
+        let (tx, rx) = unbounded();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(77u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(77));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use crate::sync::{self, SyncOp};
+
 /// Worker-thread count: `QSE_THREADS` if set (≥ 1), else the machine's
 /// available parallelism. Read once per process.
 pub fn num_threads() -> usize {
@@ -157,6 +159,7 @@ fn worker_loop(pool: &'static Pool) {
 /// (or the caller's own) resume on the calling thread with their original
 /// payload.
 fn run_job(drain: &(dyn Fn() + Sync)) {
+    sync::sync_point(SyncOp::PoolSubmit);
     let pool = pool();
     let job = {
         let mut q = pool.queue.lock().expect("pool queue poisoned");
@@ -236,7 +239,10 @@ fn for_each_with_threads<T: Send>(n_threads: usize, items: Vec<T>, f: impl Fn(T)
         // Take the lock only to pop; run the item outside it.
         let item = queue.lock().expect("queue poisoned").next();
         match item {
-            Some(it) => f(it),
+            Some(it) => {
+                sync::sync_point(SyncOp::PoolTask);
+                f(it)
+            }
             None => break,
         }
     };

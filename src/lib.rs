@@ -35,11 +35,13 @@
 //! | [`machine`] | `qse-machine` | calibrated ARCHER2 time/energy model |
 //! | [`core`] | `qse-core` | executors, profiling, experiment harness |
 //! | [`util`] | `qse-util` | std-only PRNG, JSON, thread pool, channels |
+//! | [`check`] | `qse-check` | schedule explorer, deadlock tests, source lint |
 //!
 //! The workspace is hermetic: every dependency is an in-tree path crate,
 //! so a cold-cache `cargo build --offline` succeeds with no registry
 //! access.
 
+pub use qse_check as check;
 pub use qse_circuit as circuit;
 pub use qse_comm as comm;
 pub use qse_core as core;
