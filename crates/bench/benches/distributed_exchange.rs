@@ -1,5 +1,5 @@
-//! Blocking vs non-blocking chunked exchange, and full vs half-exchange
-//! SWAPs, on the thread cluster.
+//! Blocking vs non-blocking vs streamed chunked exchange, and full vs
+//! half-exchange SWAPs, on the thread cluster.
 //!
 //! The laptop-scale analogue of Table 1's distributed row and fig 4: the
 //! same communication structures the paper optimises, measured for real
@@ -21,9 +21,14 @@ fn bench_exchange_modes() {
         .throughput_bytes(local_bytes * GATES as u64)
         .sample_size(10);
     let circuit = hadamard_benchmark(N_QUBITS, N_QUBITS - 1, GATES);
-    for (name, non_blocking) in [("blocking", false), ("non_blocking", true)] {
+    for (name, non_blocking, streamed) in [
+        ("blocking", false, false),
+        ("non_blocking", true, false),
+        ("streamed", false, true),
+    ] {
         let mut cfg = SimConfig::default_for(RANKS);
         cfg.non_blocking = non_blocking;
+        cfg.streamed = streamed;
         cfg.max_message_bytes = 64 * 1024; // force multi-chunk
         group.bench(name, || {
             black_box(ThreadClusterExecutor::run(&circuit, &cfg, 0, false));

@@ -124,6 +124,41 @@ fn buffered_but_unmatched_traffic_still_detected() {
 }
 
 #[test]
+fn wait_any_on_never_sent_chunks_fails_fast() {
+    // The streamed exchange's blocked state: rank 0 posts receives for
+    // two chunks and parks in `wait_any`; rank 1 finishes without
+    // sending. The detector must diagnose the RecvAny wait, fast, and
+    // the report must name the wait_any state with its outstanding
+    // count.
+    let t0 = Instant::now();
+    let out = Universe::with_timeout(2, LONG).run(|c| {
+        if c.rank() == 0 {
+            let r1 = c.irecv(1, 5)?;
+            let r2 = c.irecv(1, 6)?;
+            c.wait_any(&[r1, r2]).map(|_| ())
+        } else {
+            Ok(())
+        }
+    });
+    assert!(
+        t0.elapsed() < BUDGET,
+        "wait_any deadlock took {:?} to surface",
+        t0.elapsed()
+    );
+    assert!(out[1].is_ok());
+    match &out[0] {
+        Err(CommError::Deadlock { rank, stuck, detail }) => {
+            assert_eq!(*rank, 0);
+            assert_eq!(stuck, &vec![0]);
+            assert!(detail.contains("wait_any"), "{detail}");
+            assert!(detail.contains("2 outstanding"), "{detail}");
+            assert!(detail.contains("finished"), "peer state shown: {detail}");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
 fn healthy_exchange_is_not_flagged() {
     // The false-positive guard: a slow but live exchange (receiver
     // starts waiting before the sender sends) must complete normally.

@@ -41,10 +41,10 @@ pub fn help_text() -> String {
        help                         this screen\n\
        info  [--gpu]                machine description\n\
        run   --qubits N [--ranks R] [--circuit qft|ghz|grover|bv]\n\
-             [--non-blocking] [--half-swaps] [--fuse K] [--basis B]\n\
+             [--non-blocking] [--streamed] [--half-swaps] [--fuse K] [--basis B]\n\
                                     execute on the thread cluster (measured)\n\
        model --qubits N [--nodes M] [--node-kind standard|highmem]\n\
-             [--freq low|medium|high] [--circuit ...] [--fast] [--gpu]\n\
+             [--freq low|medium|high] [--circuit ...] [--fast] [--streamed] [--gpu]\n\
                                     ARCHER2 model estimate (runtime/energy/CU)\n\
        sweep [--from A] [--to B] [--fast] [--gpu]\n\
                                     fig-2-style QFT sweep at minimum node counts\n\
@@ -137,6 +137,7 @@ fn run(args: &Args) -> Result<String, ArgError> {
         "ranks",
         "circuit",
         "non-blocking",
+        "streamed",
         "half-swaps",
         "fuse",
         "basis",
@@ -152,6 +153,7 @@ fn run(args: &Args) -> Result<String, ArgError> {
     let circuit = build_circuit(&args.string("circuit", "qft"), n)?;
     let mut cfg = SimConfig::default_for(ranks);
     cfg.non_blocking = args.switch("non-blocking");
+    cfg.streamed = args.switch("streamed");
     cfg.half_exchange_swaps = args.switch("half-swaps");
     cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
     let run = ThreadClusterExecutor::run(&circuit, &cfg, basis, false);
@@ -159,7 +161,8 @@ fn run(args: &Args) -> Result<String, ArgError> {
     Ok(format!(
         "ran {} gates on {} qubits over {} ranks in {:.3} s\n\
          distributed-gate share: {:.0} % of wall-clock\n\
-         traffic: {} bytes in {} messages ({} bytes/rank)\n",
+         traffic: {} bytes in {} messages ({} bytes/rank)\n\
+         exchange: {} chunks, peak scratch {} bytes\n",
         p.gate_count,
         p.n_qubits,
         p.n_ranks,
@@ -168,12 +171,15 @@ fn run(args: &Args) -> Result<String, ArgError> {
         p.bytes_sent,
         p.messages_sent,
         p.bytes_per_rank(),
+        p.exchange_chunks,
+        p.peak_inflight_bytes,
     ))
 }
 
 fn model(args: &Args) -> Result<String, ArgError> {
     args.expect_only(&[
-        "qubits", "nodes", "node-kind", "freq", "circuit", "fast", "gpu", "half-swaps", "fuse",
+        "qubits", "nodes", "node-kind", "freq", "circuit", "fast", "streamed", "gpu",
+        "half-swaps", "fuse",
     ])?;
     let n: u32 = args.required("qubits")?;
     let machine = pick_machine(args);
@@ -194,6 +200,7 @@ fn model(args: &Args) -> Result<String, ArgError> {
     cfg.node_kind = kind;
     cfg.frequency = parse_freq(&args.string("freq", "medium"))?;
     cfg.non_blocking = args.switch("fast");
+    cfg.streamed = args.switch("streamed");
     cfg.half_exchange_swaps = args.switch("half-swaps");
     cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
     let est = ModelExecutor::new(&machine).run(&circuit, &cfg);
@@ -428,6 +435,20 @@ mod tests {
             assert!(out.is_ok(), "{circuit}: {out:?}");
         }
         assert!(run_cli(&["run", "--qubits", "6", "--circuit", "nope"]).is_err());
+    }
+
+    #[test]
+    fn run_streamed_flag_accepted_and_reports_chunks() {
+        let out = run_cli(&["run", "--qubits", "8", "--ranks", "4", "--streamed"]).unwrap();
+        assert!(out.contains("exchange:"), "{out}");
+        assert!(out.contains("peak scratch"), "{out}");
+    }
+
+    #[test]
+    fn model_streamed_flag_changes_result() {
+        let nb = run_cli(&["model", "--qubits", "38", "--fast"]).unwrap();
+        let streamed = run_cli(&["model", "--qubits", "38", "--streamed"]).unwrap();
+        assert_ne!(nb, streamed);
     }
 
     #[test]

@@ -11,15 +11,22 @@
 //!   `sendrecv` per chunk, strictly serialised;
 //! * [`exchange_nonblocking`] — the paper's improvement: post every
 //!   `isend`/`irecv` up front, then complete them all, letting chunks fly
-//!   concurrently.
+//!   concurrently;
+//! * [`StreamedExchange`] — one step further than the paper: chunks are
+//!   *consumed in completion order* via [`crate::Communicator::wait_any`],
+//!   so the caller can apply the gate kernel to each chunk's amplitude
+//!   range while later chunks are still in flight, holding only a small
+//!   ring of chunk-sized scratch buffers instead of the peer's full half.
 //!
-//! Both deliver identical bytes; the thread-cluster benchmarks measure the
-//! wall-clock difference, and the analytic model assigns them different
-//! effective bandwidths calibrated from the paper's Table 1.
+//! All strategies deliver identical bytes; the thread-cluster benchmarks
+//! measure the wall-clock difference, and the analytic model assigns them
+//! different effective bandwidths calibrated from the paper's Table 1.
 
 use crate::error::CommError;
+use crate::nonblocking::Request;
 use crate::Communicator;
 use crate::Result;
+use qse_util::Bytes;
 use std::ops::Range;
 
 /// Message-size policy for chunked transfers.
@@ -64,6 +71,30 @@ impl ChunkPolicy {
             start..usize::min(start.saturating_add(cap), total)
         })
     }
+
+    /// Byte range of chunk `i` out of `total` bytes, or `None` past the end.
+    pub fn chunk_range(&self, i: usize, total: usize) -> Option<Range<usize>> {
+        if i >= self.num_chunks(total) {
+            return None;
+        }
+        let start = i.saturating_mul(self.max_message_bytes);
+        Some(start..usize::min(start.saturating_add(self.max_message_bytes), total))
+    }
+
+    /// Derives a policy whose chunk boundaries fall on multiples of
+    /// `align_bytes` (a gate kernel's orbit size), by rounding the cap
+    /// *down* to the nearest multiple — or up to exactly `align_bytes`
+    /// when the cap is smaller. Streamed exchanges need this so every
+    /// chunk maps to a whole number of kernel orbits; both partners derive
+    /// the same policy from the same config, keeping tags and counts
+    /// matched.
+    pub fn aligned(&self, align_bytes: usize) -> ChunkPolicy {
+        assert!(align_bytes > 0, "alignment must be positive");
+        let cap = (self.max_message_bytes / align_bytes).max(1) * align_bytes;
+        ChunkPolicy {
+            max_message_bytes: cap,
+        }
+    }
 }
 
 /// Base tags must leave the low 32 bits for chunk indices.
@@ -97,12 +128,12 @@ pub fn exchange_blocking(
 ) -> Result<()> {
     recv_buf.clear();
     recv_buf.reserve(expected_recv);
-    let send_ranges: Vec<Range<usize>> = policy.ranges(send_buf.len()).collect();
+    let send_chunks = policy.num_chunks(send_buf.len());
     let recv_chunks = policy.num_chunks(expected_recv);
-    let steps = usize::max(send_ranges.len(), recv_chunks);
+    let steps = usize::max(send_chunks, recv_chunks);
     for i in 0..steps {
-        if let Some(r) = send_ranges.get(i) {
-            comm.send(peer, chunk_tag(base_tag, i), &send_buf[r.clone()])?;
+        if let Some(r) = policy.chunk_range(i, send_buf.len()) {
+            comm.send(peer, chunk_tag(base_tag, i), &send_buf[r])?;
         }
         if i < recv_chunks {
             let payload = comm.recv(peer, chunk_tag(base_tag, i))?;
@@ -139,6 +170,184 @@ pub fn exchange_nonblocking(
     Ok(())
 }
 
+/// A chunk-pipelined exchange in progress: receives are posted up front,
+/// sends are interleaved with completions, and chunks are handed back in
+/// *completion order* so the caller can overlap the gate kernel with the
+/// remaining communication.
+///
+/// Deadlock freedom with a symmetric peer follows by induction: `begin`
+/// primes `ring_depth >= 1` sends before any blocking wait, and every
+/// [`Self::next`] sends one further chunk *before* blocking, so whenever
+/// both partners have completed `k` receives each has already sent at
+/// least `min(ring_depth + k, n)` chunks — always strictly ahead of what
+/// the peer is waiting on. When this side's receives run out, the
+/// remaining sends are flushed so an asymmetric partner (half-exchange)
+/// still completes.
+pub struct StreamedExchange {
+    peer: usize,
+    base_tag: u64,
+    policy: ChunkPolicy,
+    /// Total send bytes fixed at `begin`; `next` asserts the same buffer.
+    send_total: usize,
+    /// Total receive bytes, for mapping chunk indices to byte ranges.
+    recv_total: usize,
+    n_send: usize,
+    next_send: usize,
+    /// Outstanding receive requests, with their chunk indices alongside
+    /// (kept aligned through `swap_remove`).
+    reqs: Vec<Request>,
+    chunk_idx: Vec<usize>,
+    /// Receives completed so far, for the final stats record.
+    completed: usize,
+}
+
+impl StreamedExchange {
+    /// Scratch-ring depth used by the statevector engine: enough to keep
+    /// one chunk in flight while the previous one is being consumed.
+    pub const DEFAULT_RING_DEPTH: usize = 2;
+
+    /// Posts every receive and primes the pipeline with the first
+    /// `ring_depth` sends (at least one). Chunk tags follow
+    /// [`chunk_tag`]`(base_tag, i)` in both directions, so the peer may
+    /// run any exchange strategy with the same policy.
+    pub fn begin(
+        comm: &mut Communicator,
+        peer: usize,
+        base_tag: u64,
+        send_buf: &[u8],
+        expected_recv: usize,
+        policy: ChunkPolicy,
+        ring_depth: usize,
+    ) -> Result<Self> {
+        let ring_depth = ring_depth.max(1);
+        let n_recv = policy.num_chunks(expected_recv);
+        let n_send = policy.num_chunks(send_buf.len());
+        let mut reqs = Vec::with_capacity(n_recv);
+        let mut chunk_idx = Vec::with_capacity(n_recv);
+        for i in 0..n_recv {
+            reqs.push(comm.irecv(peer, chunk_tag(base_tag, i))?);
+            chunk_idx.push(i);
+        }
+        let mut ex = StreamedExchange {
+            peer,
+            base_tag,
+            policy,
+            send_total: send_buf.len(),
+            recv_total: expected_recv,
+            n_send,
+            next_send: 0,
+            reqs,
+            chunk_idx,
+            completed: 0,
+        };
+        for _ in 0..ring_depth.min(n_send) {
+            ex.send_next(comm, send_buf)?;
+        }
+        if ex.reqs.is_empty() {
+            // Nothing to receive: flush and record immediately so `next`
+            // is a pure terminator.
+            ex.finish(comm, send_buf)?;
+        }
+        Ok(ex)
+    }
+
+    /// Sends the next unsent chunk, if any.
+    fn send_next(&mut self, comm: &mut Communicator, send_buf: &[u8]) -> Result<()> {
+        if let Some(r) = self.policy.chunk_range(self.next_send, self.send_total) {
+            comm.send(self.peer, chunk_tag(self.base_tag, self.next_send), &send_buf[r])?;
+            self.next_send += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes all remaining sends and records the exchange's chunk count
+    /// (the larger direction, so half-exchanges still report their full
+    /// pipeline depth) in the rank's traffic counters.
+    fn finish(&mut self, comm: &mut Communicator, send_buf: &[u8]) -> Result<()> {
+        while self.next_send < self.n_send {
+            self.send_next(comm, send_buf)?;
+        }
+        let chunks = usize::max(self.completed, self.n_send) as u64;
+        if chunks > 0 {
+            comm.record_exchange_chunks(chunks);
+        }
+        Ok(())
+    }
+
+    /// Advances the pipeline: sends one further chunk, then blocks until
+    /// *some* outstanding receive completes, returning its chunk index,
+    /// its byte range within the expected receive buffer, and its payload.
+    /// Returns `Ok(None)` once every receive has been delivered (after
+    /// flushing any remaining sends).
+    ///
+    /// `send_buf` must be the same buffer passed to [`Self::begin`]; it is
+    /// re-borrowed per call so the caller can hold mutable state (the
+    /// statevector) between calls.
+    pub fn next(
+        &mut self,
+        comm: &mut Communicator,
+        send_buf: &[u8],
+    ) -> Result<Option<(usize, Range<usize>, Bytes)>> {
+        assert_eq!(send_buf.len(), self.send_total, "send buffer changed size");
+        if self.reqs.is_empty() {
+            return Ok(None);
+        }
+        self.send_next(comm, send_buf)?;
+        let (i, payload) = comm.wait_any(&self.reqs)?;
+        let idx = self.chunk_idx[i];
+        self.reqs.swap_remove(i);
+        self.chunk_idx.swap_remove(i);
+        self.completed += 1;
+        let range = self
+            .policy
+            .chunk_range(idx, self.recv_total)
+            .unwrap_or(0..0); // unreachable: idx was derived from the policy
+        debug_assert_eq!(range.len(), payload.len(), "peer sent unexpected chunk size");
+        if self.reqs.is_empty() {
+            // Last receive: complete our side so a caller that stops
+            // polling after the final chunk cannot starve the peer.
+            self.finish(comm, send_buf)?;
+        }
+        Ok(Some((idx, range, payload)))
+    }
+
+    /// Receives still outstanding (for diagnostics and tests).
+    pub fn outstanding(&self) -> usize {
+        self.reqs.len()
+    }
+}
+
+/// Streamed exchange with the assemble-into-a-buffer interface of the
+/// other strategies: drives [`StreamedExchange`] and scatters each chunk
+/// into place as it completes. The statevector engine bypasses this and
+/// applies kernels per chunk instead.
+#[allow(clippy::too_many_arguments)]
+pub fn exchange_streamed(
+    comm: &mut Communicator,
+    peer: usize,
+    base_tag: u64,
+    send_buf: &[u8],
+    recv_buf: &mut Vec<u8>,
+    expected_recv: usize,
+    policy: ChunkPolicy,
+) -> Result<()> {
+    recv_buf.clear();
+    recv_buf.resize(expected_recv, 0);
+    let mut ex = StreamedExchange::begin(
+        comm,
+        peer,
+        base_tag,
+        send_buf,
+        expected_recv,
+        policy,
+        StreamedExchange::DEFAULT_RING_DEPTH,
+    )?;
+    while let Some((_, range, payload)) = ex.next(comm, send_buf)? {
+        recv_buf[range].copy_from_slice(&payload);
+    }
+    Ok(())
+}
+
 /// Strategy selector shared by the statevector engine and benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExchangeMode {
@@ -147,6 +356,9 @@ pub enum ExchangeMode {
     Blocking,
     /// The paper's non-blocking rewrite (`Isend`/`Irecv` + `Waitall`).
     NonBlocking,
+    /// Chunk-pipelined streaming: receives complete in arrival order and
+    /// each chunk is consumed while later chunks are still in flight.
+    Streamed,
 }
 
 /// Dispatches to the selected exchange strategy.
@@ -167,6 +379,9 @@ pub fn exchange(
         }
         ExchangeMode::NonBlocking => {
             exchange_nonblocking(comm, peer, base_tag, send_buf, recv_buf, expected_recv, policy)
+        }
+        ExchangeMode::Streamed => {
+            exchange_streamed(comm, peer, base_tag, send_buf, recv_buf, expected_recv, policy)
         }
     }
 }
@@ -302,6 +517,93 @@ mod tests {
     }
 
     #[test]
+    fn streamed_exchange_roundtrips() {
+        roundtrip(ExchangeMode::Streamed, 1000, 64);
+        roundtrip(ExchangeMode::Streamed, 64, 64); // exactly one chunk
+        roundtrip(ExchangeMode::Streamed, 65, 64); // one byte spillover
+        roundtrip(ExchangeMode::Streamed, 1, 1024);
+        roundtrip(ExchangeMode::Streamed, 0, 16); // empty exchange is legal
+    }
+
+    #[test]
+    fn chunk_range_matches_ranges_iterator() {
+        let p = ChunkPolicy::new(10).unwrap();
+        let from_iter: Vec<_> = p.ranges(25).collect();
+        let from_index: Vec<_> = (0..3).map(|i| p.chunk_range(i, 25).unwrap()).collect();
+        assert_eq!(from_iter, from_index);
+        assert_eq!(p.chunk_range(3, 25), None);
+        assert_eq!(p.chunk_range(0, 0), None);
+    }
+
+    #[test]
+    fn aligned_policy_rounds_down_with_floor() {
+        let p = ChunkPolicy::new(100).unwrap();
+        assert_eq!(p.aligned(16).max_message_bytes, 96);
+        assert_eq!(p.aligned(100).max_message_bytes, 100);
+        // A cap smaller than the alignment is rounded *up* to one orbit.
+        assert_eq!(p.aligned(128).max_message_bytes, 128);
+        // Already aligned caps are untouched.
+        assert_eq!(ChunkPolicy::new(256).unwrap().aligned(64).max_message_bytes, 256);
+    }
+
+    #[test]
+    fn streamed_driver_yields_every_chunk_exactly_once() {
+        let policy = ChunkPolicy::new(32).unwrap();
+        Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let send: Vec<u8> = (0..300).map(|i| (i + c.rank() * 11) as u8).collect();
+            let mut ex =
+                StreamedExchange::begin(c, peer, 4, &send, 300, policy, 2).unwrap();
+            let mut seen = vec![false; policy.num_chunks(300)];
+            let mut assembled = vec![0u8; 300];
+            while let Some((idx, range, payload)) = ex.next(c, &send).unwrap() {
+                assert!(!seen[idx], "chunk {idx} delivered twice");
+                seen[idx] = true;
+                assert_eq!(range.len(), payload.len());
+                assembled[range].copy_from_slice(&payload);
+            }
+            assert_eq!(ex.outstanding(), 0);
+            assert!(seen.iter().all(|&s| s));
+            let expected: Vec<u8> = (0..300).map(|i| (i + peer * 11) as u8).collect();
+            assert_eq!(assembled, expected);
+        });
+    }
+
+    #[test]
+    fn streamed_asymmetric_sizes_do_not_deadlock() {
+        // Half-exchange shape: one side sends twice as much as the other.
+        Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let my_len = if c.rank() == 0 { 100 } else { 50 };
+            let peer_len = if c.rank() == 0 { 50 } else { 100 };
+            let send = vec![c.rank() as u8; my_len];
+            let mut recv = Vec::new();
+            let policy = ChunkPolicy::new(16).unwrap();
+            exchange_streamed(c, peer, 9, &send, &mut recv, peer_len, policy).unwrap();
+            assert_eq!(recv, vec![peer as u8; peer_len]);
+        });
+    }
+
+    #[test]
+    fn streamed_exchange_records_chunk_stats() {
+        let stats = Universe::new(2).run(|c| {
+            let peer = 1 - c.rank();
+            let send = vec![0u8; 256];
+            let mut recv = Vec::new();
+            let policy = ChunkPolicy::new(64).unwrap();
+            exchange_streamed(c, peer, 0, &send, &mut recv, 256, policy).unwrap();
+            c.barrier();
+            c.stats()
+        });
+        for s in stats {
+            assert_eq!(s.messages_sent, 4);
+            assert_eq!(s.bytes_sent, 256);
+            assert_eq!(s.bytes_received, 256);
+            assert_eq!(s.exchange_chunks, 4);
+        }
+    }
+
+    #[test]
     fn asymmetric_exchange_sizes() {
         // One side sends 100 bytes, the other 50 (half-exchange pattern).
         Universe::new(2).run(|c| {
@@ -336,7 +638,11 @@ mod tests {
 
     #[test]
     fn both_modes_deliver_identical_bytes() {
-        for &mode in &[ExchangeMode::Blocking, ExchangeMode::NonBlocking] {
+        for &mode in &[
+            ExchangeMode::Blocking,
+            ExchangeMode::NonBlocking,
+            ExchangeMode::Streamed,
+        ] {
             let out = Universe::new(2).run(|c| {
                 let peer = 1 - c.rank();
                 let send: Vec<u8> = (0..777).map(|i| (i * (c.rank() + 2)) as u8).collect();

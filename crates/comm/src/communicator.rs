@@ -238,6 +238,116 @@ impl Communicator {
         requests.into_iter().map(|r| self.wait(r)).collect()
     }
 
+    /// Completes *whichever* request in `requests` finishes first,
+    /// returning its index and payload — the `MPI_Waitany` analogue that
+    /// lets a streamed exchange process chunks in completion order.
+    ///
+    /// Send requests are already complete on an eager transport and are
+    /// returned immediately (with an empty payload). Among receives, a
+    /// buffered out-of-order arrival wins in its arrival order; otherwise
+    /// the call blocks like [`Self::recv`], registered in the wait-for
+    /// graph as a `wait_any` over the set so the deadlock detector can
+    /// diagnose a stuck streamed exchange in ~50 ms. Non-matching
+    /// arrivals are buffered for later receives exactly as in `recv`.
+    ///
+    /// Returns `CommError::InvalidConfig` for an empty request set.
+    pub fn wait_any(&mut self, requests: &[Request]) -> Result<(usize, Bytes)> {
+        if requests.is_empty() {
+            return Err(CommError::InvalidConfig("wait_any needs at least one request"));
+        }
+        if let Some(i) = requests.iter().position(|r| r.is_send()) {
+            return Ok((i, Bytes::new()));
+        }
+        // Oldest buffered arrival matching any request wins, mirroring
+        // completion order on a real network.
+        if let Some((pos, idx)) = self.pending.iter().enumerate().find_map(|(pos, env)| {
+            Self::match_request(requests, env).map(|idx| (pos, idx))
+        }) {
+            let env = self.pending.remove(pos).ok_or(CommError::InvalidConfig(
+                "pending queue changed underfoot", // unreachable: single-threaded access
+            ))?;
+            self.registry.set_pending_depth(self.rank, self.pending.len());
+            self.counters.record_recv(env.len());
+            return Ok((idx, env.payload));
+        }
+        let (src0, multi_source) = match requests[0] {
+            Request::Recv { src, .. } => (
+                src,
+                requests
+                    .iter()
+                    .any(|r| !matches!(r, Request::Recv { src: s, .. } if *s == src)),
+            ),
+            Request::SendDone => (0, false), // unreachable: sends returned above
+        };
+        self.registry.begin_wait(
+            self.rank,
+            WaitKind::RecvAny {
+                src: src0,
+                outstanding: requests.len(),
+                multi_source,
+            },
+            self.pending.len(),
+        );
+        let result = self.wait_any_blocking(requests);
+        self.registry.end_wait(self.rank);
+        result
+    }
+
+    /// Index of the first request in `requests` matching `env`, if any.
+    fn match_request(requests: &[Request], env: &Envelope) -> Option<usize> {
+        requests
+            .iter()
+            .position(|r| matches!(r, Request::Recv { src, tag } if *src == env.src && *tag == env.tag))
+    }
+
+    /// The blocked phase of [`Self::wait_any`]: poll-sliced mailbox waits
+    /// with deadlock detection at each slice expiry, matching arrivals
+    /// against the whole request set.
+    fn wait_any_blocking(&mut self, requests: &[Request]) -> Result<(usize, Bytes)> {
+        let deadline = deadline_after(Instant::now(), self.recv_timeout);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                let (src, tag) = match requests[0] {
+                    Request::Recv { src, tag } => (src, tag),
+                    Request::SendDone => (self.rank, 0),
+                };
+                return Err(CommError::RecvTimeout {
+                    src,
+                    tag,
+                    waited: self.recv_timeout,
+                });
+            }
+            match self.rx.recv_timeout(remaining.min(DEADLOCK_POLL)) {
+                Ok(env) => {
+                    self.registry.msg_delivered(self.rank);
+                    if let Some(idx) = Self::match_request(requests, &env) {
+                        self.counters.record_recv(env.len());
+                        return Ok((idx, env.payload));
+                    }
+                    self.pending.push_back(env);
+                    self.registry.set_pending_depth(self.rank, self.pending.len());
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(report) = self.registry.detect(self.rank) {
+                        return Err(CommError::Deadlock {
+                            rank: self.rank,
+                            stuck: report.stuck.clone(),
+                            detail: report.render(),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let peer = match requests[0] {
+                        Request::Recv { src, .. } => src,
+                        Request::SendDone => self.rank,
+                    };
+                    return Err(CommError::Disconnected { peer });
+                }
+            }
+        }
+    }
+
     /// Synchronises all ranks. The wait is registered in the wait-for
     /// graph so other ranks' deadlock diagnostics can name barrier-blocked
     /// peers, but a barrier itself cannot be interrupted.
@@ -246,6 +356,24 @@ impl Communicator {
             .begin_wait(self.rank, WaitKind::Barrier, self.pending.len());
         self.barrier.wait();
         self.registry.end_wait(self.rank);
+    }
+
+    /// Records `chunks` completed chunks of one streamed exchange in this
+    /// rank's traffic counters.
+    pub fn record_exchange_chunks(&self, chunks: u64) {
+        self.counters.record_exchange_chunks(chunks);
+    }
+
+    /// Accounts `bytes` of exchange scratch acquired (a ring slot holding
+    /// an in-flight chunk), updating the peak-occupancy high-water mark.
+    pub fn scratch_acquire(&self, bytes: u64) {
+        self.counters.scratch_acquire(bytes);
+    }
+
+    /// Releases `bytes` of exchange scratch previously accounted via
+    /// [`Self::scratch_acquire`].
+    pub fn scratch_release(&self, bytes: u64) {
+        self.counters.scratch_release(bytes);
     }
 
     /// This rank's traffic counters.
@@ -368,6 +496,70 @@ mod tests {
             let payloads = c.wait_all(reqs).unwrap();
             assert_eq!(payloads[0][0] as usize, peer);
             assert!(payloads[1].is_empty());
+        });
+    }
+
+    #[test]
+    fn wait_any_completes_in_arrival_order() {
+        Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                // Send tags out of request order so completion order and
+                // posting order differ.
+                for tag in [2u64, 0, 1] {
+                    c.send(1, tag, &[tag as u8]).unwrap();
+                }
+            } else {
+                let mut reqs: Vec<_> =
+                    (0..3u64).map(|t| c.irecv(0, t).unwrap()).collect();
+                let mut tags_seen = Vec::new();
+                while !reqs.is_empty() {
+                    let (i, payload) = c.wait_any(&reqs).unwrap();
+                    tags_seen.push(payload[0]);
+                    reqs.swap_remove(i);
+                }
+                tags_seen.sort_unstable();
+                assert_eq!(tags_seen, vec![0, 1, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn wait_any_prefers_completed_sends_and_rejects_empty_sets() {
+        Universe::new(2).run(|c| {
+            let err = c.wait_any(&[]).unwrap_err();
+            assert!(matches!(err, CommError::InvalidConfig(_)));
+            let peer = 1 - c.rank();
+            let reqs = vec![
+                c.irecv(peer, 7).unwrap(),
+                c.isend(peer, 7, &[9]).unwrap(),
+            ];
+            // The eager send is already complete: index 1, empty payload.
+            let (i, payload) = c.wait_any(&reqs).unwrap();
+            assert_eq!(i, 1);
+            assert!(payload.is_empty());
+            // The receive then completes normally.
+            let (i, payload) = c.wait_any(&reqs[..1]).unwrap();
+            assert_eq!(i, 0);
+            assert_eq!(&payload[..], &[9]);
+        });
+    }
+
+    #[test]
+    fn wait_any_buffers_non_matching_arrivals() {
+        Universe::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 50, b"other").unwrap();
+                c.send(1, 40, b"match").unwrap();
+            } else {
+                // Only tag 40 is in the set; tag 50 must be buffered and
+                // remain available to a later plain recv.
+                let reqs = vec![c.irecv(0, 40).unwrap()];
+                let (i, payload) = c.wait_any(&reqs).unwrap();
+                assert_eq!(i, 0);
+                assert_eq!(&payload[..], b"match");
+                let other = c.recv(0, 50).unwrap();
+                assert_eq!(&other[..], b"other");
+            }
         });
     }
 

@@ -37,6 +37,20 @@ pub enum WaitKind {
         /// Tag we are matching.
         tag: u64,
     },
+    /// Blocked in `wait_any` over a set of posted receives.
+    RecvAny {
+        /// Source rank of the first outstanding receive. When
+        /// `multi_source` is false this is the *only* source, so the
+        /// cycle rule may follow it as a wait-for edge.
+        src: usize,
+        /// Number of receives still outstanding in the set.
+        outstanding: usize,
+        /// True when the outstanding receives name more than one source
+        /// rank. A multi-source waiter wakes if *any* of them sends, so
+        /// no single wait-for edge is sound; only the global rule can
+        /// claim certainty for it.
+        multi_source: bool,
+    },
     /// Blocked in `barrier()`.
     Barrier,
 }
@@ -45,6 +59,17 @@ impl fmt::Display for WaitKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WaitKind::Recv { src, tag } => write!(f, "recv(src={src}, tag={tag})"),
+            WaitKind::RecvAny {
+                src,
+                outstanding,
+                multi_source,
+            } => {
+                if *multi_source {
+                    write!(f, "wait_any({outstanding} outstanding, multiple sources)")
+                } else {
+                    write!(f, "wait_any(src={src}, {outstanding} outstanding)")
+                }
+            }
             WaitKind::Barrier => write!(f, "barrier"),
         }
     }
@@ -213,9 +238,12 @@ impl WaitRegistry {
         // `me` must still be recv-blocked in the snapshot (it is, unless a
         // racing update is in progress — then skip this slice).
         let my_wait = snap[me].waiting?;
-        let WaitKind::Recv { .. } = my_wait else {
+        if !matches!(
+            my_wait,
+            WaitKind::Recv { .. } | WaitKind::RecvAny { .. }
+        ) {
             return None;
-        };
+        }
 
         // Rule 1: wait cycle among recv-blocked ranks with no in-flight
         // messages towards any member.
@@ -233,7 +261,12 @@ impl WaitRegistry {
         if all_inert && none_in_flight {
             let stuck: Vec<usize> = snap
                 .iter()
-                .filter(|d| matches!(d.waiting, Some(WaitKind::Recv { .. })))
+                .filter(|d| {
+                    matches!(
+                        d.waiting,
+                        Some(WaitKind::Recv { .. }) | Some(WaitKind::RecvAny { .. })
+                    )
+                })
                 .map(|d| d.rank)
                 .collect();
             if !stuck.is_empty() {
@@ -270,8 +303,18 @@ impl WaitRegistry {
         let mut cur = me;
         loop {
             let d = &snap[cur];
-            let Some(WaitKind::Recv { src, .. }) = d.waiting else {
-                return None;
+            // A `wait_any` over a single source is equivalent to a plain
+            // receive for the cycle rule: only that source can wake it.
+            // Multi-source waiters have no sound single edge, so the walk
+            // gives up (the global rule still covers them).
+            let src = match d.waiting {
+                Some(WaitKind::Recv { src, .. }) => src,
+                Some(WaitKind::RecvAny {
+                    src,
+                    multi_source: false,
+                    ..
+                }) => src,
+                _ => return None,
             };
             if d.in_flight != 0 {
                 return None;
@@ -352,6 +395,76 @@ mod tests {
         // Rank 3 keeps running: the cycle rule must still fire.
         let report = reg.detect(1).expect("3-cycle");
         assert_eq!(report.stuck, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_source_wait_any_participates_in_cycle_rule() {
+        // rank 0 is in wait_any over several chunks, all from rank 1;
+        // rank 1 symmetrically waits on rank 0 — a 2-cycle.
+        let reg = WaitRegistry::new(2);
+        reg.begin_wait(
+            0,
+            WaitKind::RecvAny {
+                src: 1,
+                outstanding: 4,
+                multi_source: false,
+            },
+            0,
+        );
+        reg.begin_wait(1, WaitKind::Recv { src: 0, tag: 3 }, 0);
+        let report = reg.detect(0).expect("cycle through wait_any");
+        assert_eq!(report.stuck, vec![0, 1]);
+        assert!(report.render().contains("wait_any(src=1, 4 outstanding)"));
+    }
+
+    #[test]
+    fn multi_source_wait_any_has_no_cycle_edge_but_global_rule_applies() {
+        // rank 0 waits on {1, 2}; following either edge alone would be
+        // unsound, so the cycle rule must not fire even though rank 1
+        // waits back on rank 0. Once rank 2 finishes, the global rule
+        // proves starvation.
+        let reg = WaitRegistry::new(3);
+        reg.begin_wait(
+            0,
+            WaitKind::RecvAny {
+                src: 1,
+                outstanding: 2,
+                multi_source: true,
+            },
+            0,
+        );
+        reg.begin_wait(1, WaitKind::Recv { src: 0, tag: 9 }, 0);
+        assert!(
+            reg.find_cycle(0, &reg.snapshot()).is_none(),
+            "multi-source wait_any must not contribute a wait-for edge"
+        );
+        // Rank 1's walk reaches rank 0 and must also stop there.
+        assert!(reg.find_cycle(1, &reg.snapshot()).is_none());
+        // Rank 2 still running: nothing is certain yet.
+        assert!(reg.detect(0).is_none());
+        reg.mark_done(2);
+        let report = reg.detect(0).expect("global starvation");
+        assert_eq!(report.stuck, vec![0, 1]);
+        assert!(report.render().contains("multiple sources"));
+    }
+
+    #[test]
+    fn in_flight_message_suppresses_wait_any_detection() {
+        let reg = WaitRegistry::new(2);
+        reg.begin_wait(
+            0,
+            WaitKind::RecvAny {
+                src: 1,
+                outstanding: 2,
+                multi_source: false,
+            },
+            0,
+        );
+        reg.mark_done(1);
+        reg.msg_sent(0); // a chunk is still en route
+        assert!(reg.detect(0).is_none());
+        reg.msg_delivered(0);
+        assert!(reg.detect(0).is_some());
     }
 
     #[test]

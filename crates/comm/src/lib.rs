@@ -13,7 +13,10 @@
 //! * non-blocking point-to-point: [`Communicator::isend`] /
 //!   [`Communicator::irecv`] returning [`nonblocking::Request`]s, with
 //!   [`nonblocking::wait_all`] — the paper's modification that "allows
-//!   multiple messages to be sent and received in parallel" (§3.2);
+//!   multiple messages to be sent and received in parallel" (§3.2) — and
+//!   [`Communicator::wait_any`], completing requests in arrival order so
+//!   [`chunking::StreamedExchange`] can overlap per-chunk computation with
+//!   the remaining communication;
 //! * message chunking: MPI implementations cap individual messages (2 GB in
 //!   the paper, hence 32 messages per 64 GB exchange); [`chunking`]
 //!   reproduces the cap and both exchange strategies over it;

@@ -16,6 +16,12 @@ pub struct TrafficCounters {
     bytes_sent: AtomicU64,
     messages_received: AtomicU64,
     bytes_received: AtomicU64,
+    /// Chunks completed by streamed exchanges (pipeline depth observable).
+    exchange_chunks: AtomicU64,
+    /// Exchange scratch bytes currently held (ring occupancy gauge).
+    inflight_bytes: AtomicU64,
+    /// High-water mark of `inflight_bytes`.
+    peak_inflight_bytes: AtomicU64,
 }
 
 impl TrafficCounters {
@@ -32,6 +38,23 @@ impl TrafficCounters {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records `chunks` completed chunks of one streamed exchange.
+    pub fn record_exchange_chunks(&self, chunks: u64) {
+        self.exchange_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    /// Accounts `bytes` of exchange scratch acquired (a ring slot filled
+    /// with an in-flight chunk), updating the high-water mark.
+    pub fn scratch_acquire(&self, bytes: u64) {
+        let now = self.inflight_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_inflight_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Releases `bytes` of exchange scratch (the chunk was consumed).
+    pub fn scratch_release(&self, bytes: u64) {
+        self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> TrafficStats {
         TrafficStats {
@@ -39,6 +62,8 @@ impl TrafficCounters {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             messages_received: self.messages_received.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            exchange_chunks: self.exchange_chunks.load(Ordering::Relaxed),
+            peak_inflight_bytes: self.peak_inflight_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -48,6 +73,9 @@ impl TrafficCounters {
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.messages_received.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
+        self.exchange_chunks.store(0, Ordering::Relaxed);
+        self.inflight_bytes.store(0, Ordering::Relaxed);
+        self.peak_inflight_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -62,16 +90,24 @@ pub struct TrafficStats {
     pub messages_received: u64,
     /// Payload bytes received by this rank.
     pub bytes_received: u64,
+    /// Chunks completed by streamed exchanges on this rank.
+    pub exchange_chunks: u64,
+    /// High-water mark of exchange scratch held at once (ring occupancy).
+    pub peak_inflight_bytes: u64,
 }
 
 impl TrafficStats {
-    /// Element-wise sum, for aggregating across ranks.
+    /// Element-wise aggregate, for combining across ranks: traffic totals
+    /// sum; the scratch high-water mark takes the per-rank maximum (peaks
+    /// on different ranks are concurrent, not additive).
     pub fn merge(self, other: TrafficStats) -> TrafficStats {
         TrafficStats {
             messages_sent: self.messages_sent + other.messages_sent,
             bytes_sent: self.bytes_sent + other.bytes_sent,
             messages_received: self.messages_received + other.messages_received,
             bytes_received: self.bytes_received + other.bytes_received,
+            exchange_chunks: self.exchange_chunks + other.exchange_chunks,
+            peak_inflight_bytes: self.peak_inflight_bytes.max(other.peak_inflight_bytes),
         }
     }
 
@@ -117,18 +153,39 @@ mod tests {
             bytes_sent: 10,
             messages_received: 2,
             bytes_received: 20,
+            exchange_chunks: 4,
+            peak_inflight_bytes: 128,
         };
         let b = TrafficStats {
             messages_sent: 3,
             bytes_sent: 30,
             messages_received: 4,
             bytes_received: 40,
+            exchange_chunks: 6,
+            peak_inflight_bytes: 96,
         };
         let t = TrafficStats::total(&[a, b]);
         assert_eq!(t.messages_sent, 4);
         assert_eq!(t.bytes_sent, 40);
         assert_eq!(t.messages_received, 6);
         assert_eq!(t.bytes_received, 60);
+        assert_eq!(t.exchange_chunks, 10, "chunk counts sum");
+        assert_eq!(t.peak_inflight_bytes, 128, "peaks merge via max");
+    }
+
+    #[test]
+    fn scratch_gauge_tracks_high_water_mark() {
+        let c = TrafficCounters::default();
+        c.scratch_acquire(100);
+        c.scratch_acquire(60); // 160 held at once
+        c.scratch_release(100);
+        c.scratch_acquire(50); // back to 110: below the peak
+        assert_eq!(c.snapshot().peak_inflight_bytes, 160);
+        c.record_exchange_chunks(8);
+        c.record_exchange_chunks(3);
+        assert_eq!(c.snapshot().exchange_chunks, 11);
+        c.reset();
+        assert_eq!(c.snapshot(), TrafficStats::default());
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub struct SimConfig {
     pub n_ranks: u64,
     /// Blocking (QuEST default) or non-blocking exchange (§3.2).
     pub non_blocking: bool,
+    /// Streamed chunk-pipelined exchange: overlap each chunk's combine
+    /// with the remaining communication. Takes precedence over
+    /// `non_blocking`.
+    pub streamed: bool,
     /// Half-exchange distributed SWAPs (§4 future work).
     pub half_exchange_swaps: bool,
     /// Fuse diagonal runs of at least this many gates.
@@ -30,6 +34,7 @@ impl SimConfig {
         SimConfig {
             n_ranks,
             non_blocking: false,
+            streamed: false,
             half_exchange_swaps: false,
             fuse_diagonals: None,
             max_message_bytes: 1 << 20,
@@ -50,7 +55,9 @@ impl SimConfig {
     /// View as the executable engine's options.
     pub fn to_dist_config(&self) -> DistConfig {
         DistConfig {
-            exchange_mode: if self.non_blocking {
+            exchange_mode: if self.streamed {
+                ExchangeMode::Streamed
+            } else if self.non_blocking {
                 ExchangeMode::NonBlocking
             } else {
                 ExchangeMode::Blocking
@@ -67,7 +74,9 @@ impl SimConfig {
         ModelConfig {
             node_kind: self.node_kind,
             frequency: self.frequency,
-            comm_mode: if self.non_blocking {
+            comm_mode: if self.streamed {
+                CommMode::Streamed
+            } else if self.non_blocking {
                 CommMode::NonBlocking
             } else {
                 CommMode::Blocking
@@ -97,6 +106,17 @@ mod tests {
         let c = SimConfig::fast_for(8);
         assert_eq!(c.to_dist_config().exchange_mode, ExchangeMode::NonBlocking);
         assert_eq!(c.to_model_config().comm_mode, CommMode::NonBlocking);
+    }
+
+    #[test]
+    fn streamed_maps_and_takes_precedence() {
+        let mut c = SimConfig::default_for(8);
+        c.streamed = true;
+        assert_eq!(c.to_dist_config().exchange_mode, ExchangeMode::Streamed);
+        assert_eq!(c.to_model_config().comm_mode, CommMode::Streamed);
+        c.non_blocking = true; // streamed wins when both are set
+        assert_eq!(c.to_dist_config().exchange_mode, ExchangeMode::Streamed);
+        assert_eq!(c.to_model_config().comm_mode, CommMode::Streamed);
     }
 
     #[test]

@@ -83,6 +83,12 @@ impl ThreadClusterExecutor {
 
         let total_bytes: u64 = results.iter().map(|(_, _, s, _)| s.bytes_sent).sum();
         let total_msgs: u64 = results.iter().map(|(_, _, s, _)| s.messages_sent).sum();
+        let total_chunks: u64 = results.iter().map(|(_, _, s, _)| s.exchange_chunks).sum();
+        let peak_inflight: u64 = results
+            .iter()
+            .map(|(_, _, s, _)| s.peak_inflight_bytes)
+            .max()
+            .unwrap_or(0);
         let (wall, profile, _, _) = &results[0];
         let state = results
             .iter()
@@ -95,6 +101,8 @@ impl ThreadClusterExecutor {
                 profile: *profile,
                 bytes_sent: total_bytes,
                 messages_sent: total_msgs,
+                exchange_chunks: total_chunks,
+                peak_inflight_bytes: peak_inflight,
                 gate_count: circuit.len(),
             },
             state,

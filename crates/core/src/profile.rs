@@ -72,6 +72,12 @@ pub struct ProfiledRun {
     pub bytes_sent: u64,
     /// Total messages sent across all ranks.
     pub messages_sent: u64,
+    /// Exchange chunks completed across all ranks (streamed exchanges
+    /// record one per received chunk).
+    pub exchange_chunks: u64,
+    /// Largest exchange-scratch footprint observed on any rank, bytes —
+    /// the streamed path bounds this by ring-depth × chunk size.
+    pub peak_inflight_bytes: u64,
     /// Circuit gate count.
     pub gate_count: usize,
 }
@@ -93,6 +99,8 @@ impl ToJson for ProfiledRun {
             ("profile", self.profile.to_json()),
             ("bytes_sent", self.bytes_sent.to_json()),
             ("messages_sent", self.messages_sent.to_json()),
+            ("exchange_chunks", self.exchange_chunks.to_json()),
+            ("peak_inflight_bytes", self.peak_inflight_bytes.to_json()),
             ("gate_count", self.gate_count.to_json()),
         ])
     }

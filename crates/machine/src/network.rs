@@ -41,7 +41,9 @@ impl NetworkSpec {
     pub fn exchange_bandwidth(&self, mode: CommMode) -> f64 {
         match mode {
             CommMode::Blocking => self.exchange_bw_blocking,
-            CommMode::NonBlocking => self.exchange_bw_nonblocking,
+            // Streamed rides the same non-blocking transport; its win is
+            // overlap, priced in the performance model, not raw bandwidth.
+            CommMode::NonBlocking | CommMode::Streamed => self.exchange_bw_nonblocking,
         }
     }
 

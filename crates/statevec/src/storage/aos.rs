@@ -175,18 +175,32 @@ impl AmpStorage for AosStorage {
         control: Option<u32>,
     ) {
         assert_eq!(theirs.len(), self.len() * 2, "pair buffer size mismatch");
+        self.apply_distributed_1q_range(c_mine, c_theirs, theirs, 0, control);
+    }
+
+    fn apply_distributed_1q_range(
+        &mut self,
+        c_mine: Complex64,
+        c_theirs: Complex64,
+        chunk: &[f64],
+        start: usize,
+        control: Option<u32>,
+    ) {
+        assert_eq!(chunk.len() % 2, 0, "chunk must hold interleaved pairs");
+        let n = chunk.len() / 2;
+        assert!(start + n <= self.len(), "chunk beyond local slice");
         let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
-        if self.len() >= PAR_THRESHOLD {
-            let chunks: Vec<(usize, &mut [Complex64], &[f64])> = self
-                .amps
+        let amps = &mut self.amps[start..start + n];
+        if n >= PAR_THRESHOLD {
+            let chunks: Vec<(usize, &mut [Complex64], &[f64])> = amps
                 .chunks_mut(HALF_CHUNK)
-                .zip(theirs.chunks(HALF_CHUNK * 2))
+                .zip(chunk.chunks(HALF_CHUNK * 2))
                 .enumerate()
-                .map(|(ci, (chunk, tc))| (ci, chunk, tc))
+                .map(|(ci, (ac, tc))| (ci, ac, tc))
                 .collect();
-            parallel_for_each(chunks, |(ci, chunk, tc)| {
-                let base = ci * HALF_CHUNK;
-                for (k, a) in chunk.iter_mut().enumerate() {
+            parallel_for_each(chunks, |(ci, ac, tc)| {
+                let base = start + ci * HALF_CHUNK;
+                for (k, a) in ac.iter_mut().enumerate() {
                     if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
                         continue;
                     }
@@ -195,11 +209,11 @@ impl AmpStorage for AosStorage {
                 }
             });
         } else {
-            for (i, a) in self.amps.iter_mut().enumerate() {
-                if ctrl_mask != 0 && i as u64 & ctrl_mask == 0 {
+            for (k, a) in amps.iter_mut().enumerate() {
+                if ctrl_mask != 0 && (start + k) as u64 & ctrl_mask == 0 {
                     continue;
                 }
-                let other = Complex64::new(theirs[2 * i], theirs[2 * i + 1]);
+                let other = Complex64::new(chunk[2 * k], chunk[2 * k + 1]);
                 *a = c_mine * *a + c_theirs * other;
             }
         }

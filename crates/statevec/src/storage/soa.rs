@@ -269,19 +269,33 @@ impl AmpStorage for SoaStorage {
         control: Option<u32>,
     ) {
         assert_eq!(theirs.len(), self.len() * 2, "pair buffer size mismatch");
+        self.apply_distributed_1q_range(c_mine, c_theirs, theirs, 0, control);
+    }
+
+    fn apply_distributed_1q_range(
+        &mut self,
+        c_mine: Complex64,
+        c_theirs: Complex64,
+        chunk: &[f64],
+        start: usize,
+        control: Option<u32>,
+    ) {
+        assert_eq!(chunk.len() % 2, 0, "chunk must hold interleaved pairs");
+        let n = chunk.len() / 2;
+        assert!(start + n <= self.len(), "chunk beyond local slice");
         let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
-        let len = self.len();
-        if len >= PAR_THRESHOLD {
-            let chunks: Vec<(usize, &mut [f64], &mut [f64], &[f64])> = self
-                .re
+        let rs = &mut self.re[start..start + n];
+        let is = &mut self.im[start..start + n];
+        if n >= PAR_THRESHOLD {
+            let chunks: Vec<(usize, &mut [f64], &mut [f64], &[f64])> = rs
                 .chunks_mut(HALF_CHUNK)
-                .zip(self.im.chunks_mut(HALF_CHUNK))
-                .zip(theirs.chunks(HALF_CHUNK * 2))
+                .zip(is.chunks_mut(HALF_CHUNK))
+                .zip(chunk.chunks(HALF_CHUNK * 2))
                 .enumerate()
                 .map(|(ci, ((rc, ic), tc))| (ci, rc, ic, tc))
                 .collect();
             parallel_for_each(chunks, |(ci, rc, ic, tc)| {
-                let base = ci * HALF_CHUNK;
+                let base = start + ci * HALF_CHUNK;
                 for k in 0..rc.len() {
                     if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
                         continue;
@@ -294,15 +308,15 @@ impl AmpStorage for SoaStorage {
                 }
             });
         } else {
-            for i in 0..len {
-                if ctrl_mask != 0 && i as u64 & ctrl_mask == 0 {
+            for k in 0..n {
+                if ctrl_mask != 0 && (start + k) as u64 & ctrl_mask == 0 {
                     continue;
                 }
-                let mine = Complex64::new(self.re[i], self.im[i]);
-                let other = Complex64::new(theirs[2 * i], theirs[2 * i + 1]);
+                let mine = Complex64::new(rs[k], is[k]);
+                let other = Complex64::new(chunk[2 * k], chunk[2 * k + 1]);
                 let v = c_mine * mine + c_theirs * other;
-                self.re[i] = v.re;
-                self.im[i] = v.im;
+                rs[k] = v.re;
+                is[k] = v.im;
             }
         }
     }
