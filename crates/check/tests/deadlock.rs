@@ -159,6 +159,64 @@ fn wait_any_on_never_sent_chunks_fails_fast() {
 }
 
 #[test]
+fn retrying_and_delayed_ranks_are_not_misreported() {
+    // False-positive guard for the fault-injection layer: every message
+    // is delayed (held invisible at the receiver) and most sends need
+    // backoff retries, so both ranks spend most of their time waiting on
+    // traffic that exists but is not yet visible. The detector must stay
+    // silent — held envelopes count as in flight — and every round must
+    // deliver the exact payload.
+    let mut plan = qse_comm::FaultConfig::recoverable(21);
+    plan.p_delay = 1.0;
+    plan.max_delay_slices = 2;
+    plan.p_send_fail = 0.8;
+    let out = Universe::with_timeout_and_faults(2, LONG, plan)
+        .expect("valid plan")
+        .run(|c| {
+            let peer = 1 - c.rank();
+            for round in 0..6u64 {
+                let sent = [c.rank() as u8, round as u8];
+                let got = c.sendrecv(peer, round, &sent, peer, round)?;
+                assert_eq!(&got[..], &[peer as u8, round as u8]);
+            }
+            Ok::<_, CommError>(())
+        });
+    for (rank, r) in out.into_iter().enumerate() {
+        r.unwrap_or_else(|e| panic!("rank {rank} falsely failed: {e}"));
+    }
+}
+
+#[test]
+fn real_deadlocks_still_fire_under_an_active_fault_lane() {
+    // The fault lane swaps the receive loop onto a modelled slice clock;
+    // a genuine one-sided wait must still be diagnosed by the wait-for
+    // graph, fast, not ride the (huge) modelled deadline.
+    let t0 = Instant::now();
+    let out = Universe::with_timeout_and_faults(2, LONG, qse_comm::FaultConfig::recoverable(4))
+        .expect("valid plan")
+        .run(|c| {
+            if c.rank() == 1 {
+                c.recv(0, 7).map(|_| ())
+            } else {
+                Ok(())
+            }
+        });
+    assert!(
+        t0.elapsed() < BUDGET,
+        "deadlock under faults took {:?} to surface",
+        t0.elapsed()
+    );
+    assert!(out[0].is_ok());
+    match &out[1] {
+        Err(CommError::Deadlock { rank, stuck, .. }) => {
+            assert_eq!(*rank, 1);
+            assert_eq!(stuck, &vec![1]);
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
 fn healthy_exchange_is_not_flagged() {
     // The false-positive guard: a slow but live exchange (receiver
     // starts waiting before the sender sends) must complete normally.

@@ -152,7 +152,7 @@ fn wait_any_wakeup_fixture(ctl: &Ctl) {
     use qse_comm::Universe;
     let mut comms = Universe::new(2).into_communicators().into_iter();
     let mut consumer = comms.next().expect("rank 0");
-    let producer = comms.next().expect("rank 1");
+    let mut producer = comms.next().expect("rank 1");
     ctl.spawn(move || {
         for tag in [2u64, 0, 1] {
             producer.send(0, tag, &[tag as u8]).expect("send chunk");

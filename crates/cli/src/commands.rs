@@ -42,7 +42,10 @@ pub fn help_text() -> String {
        info  [--gpu]                machine description\n\
        run   --qubits N [--ranks R] [--circuit qft|ghz|grover|bv]\n\
              [--non-blocking] [--streamed] [--half-swaps] [--fuse K] [--basis B]\n\
-                                    execute on the thread cluster (measured)\n\
+             [--faults seed=N[,delay=P][,corrupt=P][,fail=P][,budget=K]...]\n\
+                                    execute on the thread cluster (measured);\n\
+                                    --faults injects a seeded deterministic\n\
+                                    fault plan (replay a soak failure by seed)\n\
        model --qubits N [--nodes M] [--node-kind standard|highmem]\n\
              [--freq low|medium|high] [--circuit ...] [--fast] [--streamed] [--gpu]\n\
                                     ARCHER2 model estimate (runtime/energy/CU)\n\
@@ -141,6 +144,7 @@ fn run(args: &Args) -> Result<String, ArgError> {
         "half-swaps",
         "fuse",
         "basis",
+        "faults",
     ])?;
     let n: u32 = args.required("qubits")?;
     if n > 24 {
@@ -156,9 +160,13 @@ fn run(args: &Args) -> Result<String, ArgError> {
     cfg.streamed = args.switch("streamed");
     cfg.half_exchange_swaps = args.switch("half-swaps");
     cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
-    let run = ThreadClusterExecutor::run(&circuit, &cfg, basis, false);
+    if let Some(spec) = args.optional::<String>("faults")? {
+        cfg.faults = Some(qse_comm::FaultConfig::parse_spec(&spec).map_err(ArgError)?);
+    }
+    let run = ThreadClusterExecutor::try_run(&circuit, &cfg, basis, false)
+        .map_err(|e| ArgError(format!("run failed: {e}")))?;
     let p = &run.profiled;
-    Ok(format!(
+    let mut out = format!(
         "ran {} gates on {} qubits over {} ranks in {:.3} s\n\
          distributed-gate share: {:.0} % of wall-clock\n\
          traffic: {} bytes in {} messages ({} bytes/rank)\n\
@@ -173,7 +181,14 @@ fn run(args: &Args) -> Result<String, ArgError> {
         p.bytes_per_rank(),
         p.exchange_chunks,
         p.peak_inflight_bytes,
-    ))
+    );
+    if let Some(fc) = cfg.faults {
+        out += &format!(
+            "faults: seed {} — {} injected, {} retries, {} corruptions detected (recovered)\n",
+            fc.seed, p.faults_injected, p.retries, p.corruptions_detected,
+        );
+    }
+    Ok(out)
 }
 
 fn model(args: &Args) -> Result<String, ArgError> {
@@ -442,6 +457,41 @@ mod tests {
         let out = run_cli(&["run", "--qubits", "8", "--ranks", "4", "--streamed"]).unwrap();
         assert!(out.contains("exchange:"), "{out}");
         assert!(out.contains("peak scratch"), "{out}");
+    }
+
+    #[test]
+    fn run_faults_flag_reports_recovery_and_replays_by_seed() {
+        let args = &["run", "--qubits", "7", "--ranks", "4", "--faults", "seed=42"];
+        let first = run_cli(args).unwrap();
+        assert!(first.contains("faults: seed 42"), "{first}");
+        assert!(first.contains("(recovered)"), "{first}");
+        let fault_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("faults:"))
+                .map(str::to_string)
+                .expect("fault line present")
+        };
+        // Same seed → identical injected/retry/corruption counters.
+        let second = run_cli(args).unwrap();
+        assert_eq!(fault_line(&first), fault_line(&second), "seed replay drifted");
+    }
+
+    #[test]
+    fn run_unrecoverable_faults_surface_a_typed_error() {
+        let err = run_cli(&[
+            "run", "--qubits", "6", "--ranks", "2",
+            "--faults", "seed=1,fail=1,fail_burst=9,budget=2,delay=0,corrupt=0",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("transient"), "{}", err.0);
+    }
+
+    #[test]
+    fn run_rejects_malformed_fault_specs() {
+        for spec in ["delay=0.5", "seed=x", "seed=1,bogus=3", "seed=1,corrupt=7"] {
+            let err = run_cli(&["run", "--qubits", "6", "--faults", spec]).unwrap_err();
+            assert!(err.0.contains("fault"), "spec {spec}: {}", err.0);
+        }
     }
 
     #[test]

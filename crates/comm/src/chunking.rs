@@ -636,6 +636,91 @@ mod tests {
         }
     }
 
+    /// Delay-only fault plan: heavy jitter, nothing else, so chunk
+    /// delivery order is scrambled without any retry machinery engaging.
+    fn delay_jitter(seed: u64) -> crate::FaultConfig {
+        let mut cfg = crate::FaultConfig::disabled(seed);
+        cfg.p_delay = 0.6;
+        cfg.max_delay_slices = 3;
+        cfg
+    }
+
+    #[test]
+    fn streamed_completion_order_shuffles_under_delay_jitter() {
+        // Held-back chunks let later chunks overtake them, so wait_any
+        // hands chunks back out of posting order; the per-chunk byte
+        // ranges must still compose into exactly the peer's buffer.
+        let total = 600usize;
+        let policy = ChunkPolicy::new(16).unwrap();
+        let mut saw_reorder = false;
+        for seed in [11u64, 23, 47, 101] {
+            let universe = Universe::with_faults(2, delay_jitter(seed)).unwrap();
+            let orders = universe.run(|c| {
+                let peer = 1 - c.rank();
+                let send: Vec<u8> =
+                    (0..total).map(|i| (i * 3 + c.rank() * 17) as u8).collect();
+                let mut ex =
+                    StreamedExchange::begin(c, peer, 6, &send, total, policy, 2).unwrap();
+                let mut order = Vec::new();
+                let mut assembled = vec![0u8; total];
+                while let Some((idx, range, payload)) = ex.next(c, &send).unwrap() {
+                    order.push(idx);
+                    assert_eq!(range.len(), payload.len());
+                    assembled[range].copy_from_slice(&payload);
+                }
+                let expected: Vec<u8> =
+                    (0..total).map(|i| (i * 3 + peer * 17) as u8).collect();
+                assert_eq!(assembled, expected, "seed {seed} reassembly broke");
+                order
+            });
+            for order in orders {
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..policy.num_chunks(total)).collect::<Vec<_>>());
+                if order.windows(2).any(|w| w[0] > w[1]) {
+                    saw_reorder = true;
+                }
+            }
+        }
+        assert!(saw_reorder, "delay jitter never reordered a chunk on any seed");
+    }
+
+    #[test]
+    fn every_mode_survives_recoverable_faults() {
+        // Full fault cocktail (delay + corruption + transient failures),
+        // recoverable by construction: each strategy must deliver exactly
+        // the fault-free bytes.
+        for &mode in &[
+            ExchangeMode::Blocking,
+            ExchangeMode::NonBlocking,
+            ExchangeMode::Streamed,
+        ] {
+            for seed in [5u64, 9, 31] {
+                let universe =
+                    Universe::with_faults(2, crate::FaultConfig::recoverable(seed)).unwrap();
+                let out = universe.run(|c| {
+                    let peer = 1 - c.rank();
+                    let send: Vec<u8> =
+                        (0..500).map(|i| (i * 7 + c.rank()) as u8).collect();
+                    let mut recv = Vec::new();
+                    let policy = ChunkPolicy::new(64).unwrap();
+                    exchange(mode, c, peer, 2, &send, &mut recv, 500, policy).unwrap();
+                    c.barrier();
+                    (recv, c.stats().faults_injected)
+                });
+                let mut injected_total = 0;
+                for (rank, (recv, injected)) in out.into_iter().enumerate() {
+                    let peer = 1 - rank;
+                    let expected: Vec<u8> =
+                        (0..500).map(|i| (i * 7 + peer) as u8).collect();
+                    assert_eq!(recv, expected, "mode {mode:?} seed {seed} rank {rank}");
+                    injected_total += injected;
+                }
+                assert!(injected_total > 0, "plan {seed} never fired a fault");
+            }
+        }
+    }
+
     #[test]
     fn both_modes_deliver_identical_bytes() {
         for &mode in &[

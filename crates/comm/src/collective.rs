@@ -218,6 +218,32 @@ mod tests {
     }
 
     #[test]
+    fn collectives_recover_under_seeded_faults() {
+        // Linear collectives lean entirely on the point-to-point recovery
+        // layer; under a recoverable plan every rank must still see the
+        // exact fault-free reduction results.
+        for seed in [3u64, 14, 159] {
+            let universe =
+                Universe::with_faults(4, crate::FaultConfig::recoverable(seed)).unwrap();
+            let out = universe.run(|c| {
+                let sums = allreduce_sum_f64(c, &[c.rank() as f64, 1.0]).unwrap();
+                let total = allreduce_sum_u64(c, c.rank() as u64 + 1).unwrap();
+                let parts = allgather(c, &[c.rank() as u8 * 5]).unwrap();
+                (sums, total, parts.iter().map(|p| p.to_vec()).collect::<Vec<_>>())
+            });
+            for (sums, total, parts) in out {
+                assert_eq!(sums, vec![6.0, 4.0], "seed {seed}");
+                assert_eq!(total, 10, "seed {seed}");
+                assert_eq!(
+                    parts,
+                    vec![vec![0u8], vec![5u8], vec![10u8], vec![15u8]],
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn collectives_compose_with_p2p_traffic() {
         // Interleave point-to-point messages with a collective to check tag
         // spaces do not collide.

@@ -3,11 +3,31 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Which communication operation a fault hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// The fault hit a send.
+    Send,
+    /// The fault hit a receive.
+    Recv,
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::Send => write!(f, "send"),
+            FaultOp::Recv => write!(f, "recv"),
+        }
+    }
+}
+
 /// Errors surfaced by the message-passing layer.
 ///
 /// In a healthy run none of these occur; they exist so that tests fail with
 /// a diagnosis instead of deadlocking, and so that misuse (bad rank, zero
-/// chunk size) is rejected eagerly.
+/// chunk size) is rejected eagerly. The `Transient` and `Corrupt` variants
+/// only arise under an injected [`crate::faults::FaultPlan`] whose fault
+/// bursts exceed the retry budget — a recoverable plan never surfaces them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// A peer rank id is outside `0..size`.
@@ -48,6 +68,28 @@ pub enum CommError {
         /// queue depths).
         detail: String,
     },
+    /// An injected transient fault persisted past the bounded retry
+    /// budget. Retryable in principle — a longer budget would have
+    /// recovered — but surfaced as a typed error instead of hanging.
+    Transient {
+        /// Whether the send or the receive side gave up.
+        op: FaultOp,
+        /// The peer rank of the failed operation.
+        peer: usize,
+        /// Attempts made before giving up (first try + retries).
+        attempts: u32,
+    },
+    /// Checksummed payloads from `(src, tag)` kept failing validation and
+    /// the retransmit budget ran out with no pristine copy arriving —
+    /// permanent corruption on this link.
+    Corrupt {
+        /// Rank whose payloads failed validation.
+        src: usize,
+        /// Tag of the corrupted messages.
+        tag: u64,
+        /// Corrupt copies discarded before giving up.
+        discarded: u32,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -71,6 +113,14 @@ impl fmt::Display for CommError {
             } => write!(
                 f,
                 "deadlock detected at rank {rank}: ranks {stuck:?} can never be satisfied; {detail}"
+            ),
+            CommError::Transient { op, peer, attempts } => write!(
+                f,
+                "transient {op} fault towards rank {peer} persisted for {attempts} attempts (retry budget exhausted)"
+            ),
+            CommError::Corrupt { src, tag, discarded } => write!(
+                f,
+                "payload corruption from rank {src} tag {tag}: {discarded} copies failed checksum validation with no pristine retransmission"
             ),
         }
     }
@@ -105,6 +155,24 @@ mod tests {
         assert!(text.contains("deadlock"));
         assert!(text.contains("[0, 1]"));
         assert!(text.contains("tag=7"));
+        let e = CommError::Transient {
+            op: FaultOp::Send,
+            peer: 3,
+            attempts: 5,
+        };
+        let text = e.to_string();
+        assert!(text.contains("transient send fault"));
+        assert!(text.contains("rank 3"));
+        assert!(text.contains("5 attempts"));
+        let e = CommError::Corrupt {
+            src: 2,
+            tag: 11,
+            discarded: 4,
+        };
+        let text = e.to_string();
+        assert!(text.contains("corruption from rank 2"));
+        assert!(text.contains("tag 11"));
+        assert!(text.contains("4 copies"));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod collective;
 pub mod communicator;
 pub mod deadlock;
 pub mod error;
+pub mod faults;
 pub mod message;
 pub mod nonblocking;
 pub mod stats;
@@ -51,7 +52,8 @@ pub mod topology;
 pub mod universe;
 
 pub use communicator::Communicator;
-pub use error::CommError;
+pub use error::{CommError, FaultOp};
+pub use faults::{FaultConfig, FaultPlan};
 pub use stats::TrafficStats;
 pub use universe::Universe;
 

@@ -22,6 +22,13 @@ pub struct TrafficCounters {
     inflight_bytes: AtomicU64,
     /// High-water mark of `inflight_bytes`.
     peak_inflight_bytes: AtomicU64,
+    /// Fault events injected by this rank's fault lane (delays, transient
+    /// failures, corruption bursts, stalls). Zero when faults are off.
+    faults_injected: AtomicU64,
+    /// Operations retried after an injected transient failure.
+    retries: AtomicU64,
+    /// Corrupt payloads detected by checksum validation and discarded.
+    corruptions_detected: AtomicU64,
 }
 
 impl TrafficCounters {
@@ -55,6 +62,22 @@ impl TrafficCounters {
         self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// Records one injected fault event (a delay, a transient-failure
+    /// burst, a corruption burst, or a stall window hit).
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `attempts` retried operations after transient failures.
+    pub fn record_retries(&self, attempts: u64) {
+        self.retries.fetch_add(attempts, Ordering::Relaxed);
+    }
+
+    /// Records one corrupt payload caught by checksum validation.
+    pub fn record_corruption_detected(&self) {
+        self.corruptions_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> TrafficStats {
         TrafficStats {
@@ -64,6 +87,9 @@ impl TrafficCounters {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             exchange_chunks: self.exchange_chunks.load(Ordering::Relaxed),
             peak_inflight_bytes: self.peak_inflight_bytes.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            corruptions_detected: self.corruptions_detected.load(Ordering::Relaxed),
         }
     }
 
@@ -76,6 +102,9 @@ impl TrafficCounters {
         self.exchange_chunks.store(0, Ordering::Relaxed);
         self.inflight_bytes.store(0, Ordering::Relaxed);
         self.peak_inflight_bytes.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.corruptions_detected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -94,6 +123,12 @@ pub struct TrafficStats {
     pub exchange_chunks: u64,
     /// High-water mark of exchange scratch held at once (ring occupancy).
     pub peak_inflight_bytes: u64,
+    /// Fault events injected on this rank (zero when faults are off).
+    pub faults_injected: u64,
+    /// Operations retried after injected transient failures.
+    pub retries: u64,
+    /// Corrupt payloads detected by checksum validation and discarded.
+    pub corruptions_detected: u64,
 }
 
 impl TrafficStats {
@@ -108,6 +143,9 @@ impl TrafficStats {
             bytes_received: self.bytes_received + other.bytes_received,
             exchange_chunks: self.exchange_chunks + other.exchange_chunks,
             peak_inflight_bytes: self.peak_inflight_bytes.max(other.peak_inflight_bytes),
+            faults_injected: self.faults_injected + other.faults_injected,
+            retries: self.retries + other.retries,
+            corruptions_detected: self.corruptions_detected + other.corruptions_detected,
         }
     }
 
@@ -155,6 +193,9 @@ mod tests {
             bytes_received: 20,
             exchange_chunks: 4,
             peak_inflight_bytes: 128,
+            faults_injected: 2,
+            retries: 1,
+            corruptions_detected: 0,
         };
         let b = TrafficStats {
             messages_sent: 3,
@@ -163,6 +204,9 @@ mod tests {
             bytes_received: 40,
             exchange_chunks: 6,
             peak_inflight_bytes: 96,
+            faults_injected: 1,
+            retries: 2,
+            corruptions_detected: 3,
         };
         let t = TrafficStats::total(&[a, b]);
         assert_eq!(t.messages_sent, 4);
@@ -171,6 +215,24 @@ mod tests {
         assert_eq!(t.bytes_received, 60);
         assert_eq!(t.exchange_chunks, 10, "chunk counts sum");
         assert_eq!(t.peak_inflight_bytes, 128, "peaks merge via max");
+        assert_eq!(t.faults_injected, 3, "fault counts sum");
+        assert_eq!(t.retries, 3, "retry counts sum");
+        assert_eq!(t.corruptions_detected, 3, "corruption counts sum");
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_reset() {
+        let c = TrafficCounters::default();
+        c.record_fault_injected();
+        c.record_fault_injected();
+        c.record_retries(3);
+        c.record_corruption_detected();
+        let s = c.snapshot();
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.corruptions_detected, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), TrafficStats::default());
     }
 
     #[test]

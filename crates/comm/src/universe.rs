@@ -2,8 +2,10 @@
 
 use crate::communicator::Communicator;
 use crate::deadlock::WaitRegistry;
+use crate::faults::{FaultConfig, FaultPlan};
 use crate::message::Envelope;
 use crate::stats::{SharedCounters, TrafficCounters};
+use crate::Result;
 use qse_util::mailbox::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Duration;
@@ -45,6 +47,7 @@ pub struct Universe {
     counters: Arc<Vec<SharedCounters>>,
     recv_timeout: Duration,
     registry: Arc<WaitRegistry>,
+    faults: Option<FaultPlan>,
 }
 
 impl Universe {
@@ -52,6 +55,27 @@ impl Universe {
     /// [`default_recv_timeout`] receive deadline.
     pub fn new(size: usize) -> Self {
         Self::with_timeout(size, default_recv_timeout())
+    }
+
+    /// Creates a universe whose communicators run under the seeded,
+    /// deterministic fault plan described by `config` — every rank's
+    /// fault stream replays exactly for a fixed seed. Fails on an
+    /// invalid configuration (probability outside `[0, 1]`).
+    pub fn with_faults(size: usize, config: FaultConfig) -> Result<Self> {
+        Self::with_timeout_and_faults(size, default_recv_timeout(), config)
+    }
+
+    /// [`Universe::with_faults`] with a custom receive deadline, for
+    /// tests pinning the modelled delay-versus-timeout boundary.
+    pub fn with_timeout_and_faults(
+        size: usize,
+        recv_timeout: Duration,
+        config: FaultConfig,
+    ) -> Result<Self> {
+        let plan = FaultPlan::new(config)?;
+        let mut universe = Self::with_timeout(size, recv_timeout);
+        universe.faults = Some(plan);
+        Ok(universe)
     }
 
     /// Creates a universe with a custom receive deadline (mainly for tests
@@ -75,6 +99,7 @@ impl Universe {
             counters: Arc::new(counters),
             recv_timeout,
             registry: Arc::new(WaitRegistry::new(size)),
+            faults: None,
         }
     }
 
@@ -101,6 +126,7 @@ impl Universe {
                     Arc::clone(&self.counters),
                     self.recv_timeout,
                     Arc::clone(&self.registry),
+                    self.faults.as_ref().map(|plan| plan.lane(rank)),
                 )
             })
             .collect()

@@ -1,6 +1,7 @@
 //! Unified run configuration bridging the executable engine and the model.
 
 use qse_comm::chunking::{ChunkPolicy, ExchangeMode};
+use qse_comm::FaultConfig;
 use qse_machine::{CommMode, CpuFrequency, ModelConfig, NodeKind};
 use qse_statevec::DistConfig;
 
@@ -26,6 +27,9 @@ pub struct SimConfig {
     pub node_kind: NodeKind,
     /// CPU frequency (model runs only).
     pub frequency: CpuFrequency,
+    /// Seeded deterministic fault plan for thread-cluster runs, if any
+    /// (`None` keeps the zero-overhead fault-free transport).
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -40,6 +44,7 @@ impl SimConfig {
             max_message_bytes: 1 << 20,
             node_kind: NodeKind::Standard,
             frequency: CpuFrequency::Medium,
+            faults: None,
         }
     }
 

@@ -4,7 +4,7 @@ use crate::config::SimConfig;
 use crate::profile::{ClassProfile, ProfiledRun};
 use qse_circuit::classify::{classify, Layout};
 use qse_circuit::Circuit;
-use qse_comm::Universe;
+use qse_comm::{CommError, Universe};
 use qse_machine::archer2::Machine;
 use qse_machine::perf::RunEstimate;
 use qse_math::Complex64;
@@ -49,7 +49,25 @@ impl ThreadClusterExecutor {
     /// Each gate is timed on rank 0 (all ranks advance in lockstep for
     /// distributed gates, so rank 0's clock is representative) and
     /// attributed to its locality class.
+    ///
+    /// # Panics
+    /// Panics on a communication error; use [`Self::try_run`] when running
+    /// under a fault plan that may be unrecoverable.
     pub fn run(circuit: &Circuit, config: &SimConfig, basis: u64, gather: bool) -> ClusterRun {
+        Self::try_run(circuit, config, basis, gather).expect("cluster run failed")
+    }
+
+    /// [`Self::run`], but every rank's communication errors propagate as a
+    /// typed [`CommError`] instead of panicking — the entry point for runs
+    /// under a [`SimConfig::faults`] plan, where an unrecoverable plan
+    /// must surface an error rather than hang or crash. When several
+    /// ranks fail, the lowest rank's error is returned.
+    pub fn try_run(
+        circuit: &Circuit,
+        config: &SimConfig,
+        basis: u64,
+        gather: bool,
+    ) -> Result<ClusterRun, CommError> {
         let n_ranks = config.n_ranks as usize;
         let dist_config = config.to_dist_config();
         let layout = Layout::new(circuit.n_qubits(), config.n_ranks);
@@ -59,7 +77,11 @@ impl ThreadClusterExecutor {
             .map(|g| classify(g, &layout))
             .collect();
 
-        let results = Universe::new(n_ranks).run(|comm| {
+        let universe = match config.faults {
+            Some(fc) => Universe::with_faults(n_ranks, fc)?,
+            None => Universe::new(n_ranks),
+        };
+        let per_rank = universe.run(|comm| -> Result<_, CommError> {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::basis_state(comm, circuit.n_qubits(), basis, dist_config);
             st.barrier();
@@ -67,19 +89,19 @@ impl ThreadClusterExecutor {
             let mut profile = ClassProfile::default();
             for (gate, &class) in circuit.gates().iter().zip(&classes) {
                 let g0 = Instant::now();
-                st.apply(gate).expect("cluster run failed");
+                st.apply(gate)?;
                 profile.record(class, g0.elapsed());
             }
             st.barrier();
             let wall = t0.elapsed().as_secs_f64();
             let stats = st.stats();
-            let state = if gather {
-                st.gather().expect("gather failed")
-            } else {
-                None
-            };
-            (wall, profile, stats, state)
+            let state = if gather { st.gather()? } else { None };
+            Ok((wall, profile, stats, state))
         });
+        let mut results = Vec::with_capacity(per_rank.len());
+        for r in per_rank {
+            results.push(r?);
+        }
 
         let total_bytes: u64 = results.iter().map(|(_, _, s, _)| s.bytes_sent).sum();
         let total_msgs: u64 = results.iter().map(|(_, _, s, _)| s.messages_sent).sum();
@@ -89,11 +111,17 @@ impl ThreadClusterExecutor {
             .map(|(_, _, s, _)| s.peak_inflight_bytes)
             .max()
             .unwrap_or(0);
+        let faults_injected: u64 = results.iter().map(|(_, _, s, _)| s.faults_injected).sum();
+        let retries: u64 = results.iter().map(|(_, _, s, _)| s.retries).sum();
+        let corruptions: u64 = results
+            .iter()
+            .map(|(_, _, s, _)| s.corruptions_detected)
+            .sum();
         let (wall, profile, _, _) = &results[0];
         let state = results
             .iter()
             .find_map(|(_, _, _, st)| st.clone());
-        ClusterRun {
+        Ok(ClusterRun {
             profiled: ProfiledRun {
                 n_qubits: circuit.n_qubits(),
                 n_ranks: config.n_ranks,
@@ -104,9 +132,12 @@ impl ThreadClusterExecutor {
                 exchange_chunks: total_chunks,
                 peak_inflight_bytes: peak_inflight,
                 gate_count: circuit.len(),
+                faults_injected,
+                retries,
+                corruptions_detected: corruptions,
             },
             state,
-        }
+        })
     }
 }
 
@@ -163,6 +194,57 @@ mod tests {
         let c = qft(6);
         let run = ThreadClusterExecutor::run(&c, &SimConfig::default_for(2), 0, false);
         assert!(run.state.is_none());
+    }
+
+    /// Exact bitwise statevector equality — the fault-equivalence bar is
+    /// bit-for-bit, stricter than approximate closeness.
+    fn assert_bits_equal(a: &[qse_math::Complex64], b: &[qse_math::Complex64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "amplitude {i} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_run_under_recoverable_faults_is_bit_identical() {
+        let c = qft(7);
+        let clean = ThreadClusterExecutor::run(&c, &SimConfig::default_for(4), 3, true);
+        assert_eq!(clean.profiled.faults_injected, 0);
+        assert_eq!(clean.profiled.retries, 0);
+        assert_eq!(clean.profiled.corruptions_detected, 0);
+        let mut cfg = SimConfig::default_for(4);
+        cfg.faults = Some(qse_comm::FaultConfig::recoverable(99));
+        let faulted = ThreadClusterExecutor::try_run(&c, &cfg, 3, true).unwrap();
+        assert_bits_equal(
+            &faulted.state.unwrap(),
+            &clean.state.unwrap(),
+        );
+        assert!(faulted.profiled.faults_injected > 0, "plan never fired");
+    }
+
+    #[test]
+    fn cluster_run_surfaces_unrecoverable_faults_as_typed_errors() {
+        let c = qft(6);
+        let mut cfg = SimConfig::default_for(2);
+        cfg.faults = Some(qse_comm::FaultConfig::exhausted_retries(1));
+        let err = ThreadClusterExecutor::try_run(&c, &cfg, 0, false)
+            .err()
+            .expect("exhausted retries must fail the run");
+        assert!(
+            matches!(err, qse_comm::CommError::Transient { .. }),
+            "expected Transient, got {err:?}"
+        );
+        cfg.faults = Some(qse_comm::FaultConfig::permanent_corruption(1));
+        let err = ThreadClusterExecutor::try_run(&c, &cfg, 0, false)
+            .err()
+            .expect("permanent corruption must fail the run");
+        assert!(
+            matches!(err, qse_comm::CommError::Corrupt { .. }),
+            "expected Corrupt, got {err:?}"
+        );
     }
 
     #[test]

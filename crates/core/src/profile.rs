@@ -80,6 +80,12 @@ pub struct ProfiledRun {
     pub peak_inflight_bytes: u64,
     /// Circuit gate count.
     pub gate_count: usize,
+    /// Fault events injected across all ranks (0 without a fault plan).
+    pub faults_injected: u64,
+    /// Transient-failure retries performed across all ranks.
+    pub retries: u64,
+    /// Corrupted payloads detected and discarded across all ranks.
+    pub corruptions_detected: u64,
 }
 
 impl ProfiledRun {
@@ -102,6 +108,9 @@ impl ToJson for ProfiledRun {
             ("exchange_chunks", self.exchange_chunks.to_json()),
             ("peak_inflight_bytes", self.peak_inflight_bytes.to_json()),
             ("gate_count", self.gate_count.to_json()),
+            ("faults_injected", self.faults_injected.to_json()),
+            ("retries", self.retries.to_json()),
+            ("corruptions_detected", self.corruptions_detected.to_json()),
         ])
     }
 }
