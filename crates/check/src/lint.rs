@@ -1,7 +1,7 @@
 //! A source lint pass for the repo's own conventions.
 //!
 //! A deliberately small line/token scanner — no parser dependency —
-//! enforcing three rules that the type system cannot:
+//! enforcing four rules that the type system cannot:
 //!
 //! * **R1 `PanicInLib`** — no `.unwrap()`, `.expect(`, or `panic!` in
 //!   non-test library code of `qse-comm`, `qse-statevec`, and
@@ -15,6 +15,13 @@
 //! * **R3 `UndocumentedPub`** — every `pub fn` in `qse-comm` carries a
 //!   doc comment; the communication layer is the API other crates build
 //!   on.
+//! * **R4 `AssertInMeasure`** — no `assert!`/`assert_eq!`/`assert_ne!`
+//!   in the measurement-path files of `qse-statevec` (`measure.rs`).
+//!   Measurement outcomes depend on caller-supplied randomness and
+//!   state, so "impossible" conditions there are reachable by callers
+//!   and must surface as typed `MeasureError` values — an `assert!` is
+//!   error handling in disguise. (`debug_assert!` remains allowed:
+//!   true internal invariants may still self-check in debug builds.)
 //!
 //! The scanner strips `//` comments, `/* */` blocks, and string/char
 //! literals before matching, and skips `#[cfg(test)]` regions by brace
@@ -32,6 +39,8 @@ pub enum Rule {
     InstantInMachine,
     /// `pub fn` without a doc comment in `qse-comm`.
     UndocumentedPub,
+    /// `assert!` used as error handling in statevec measure paths.
+    AssertInMeasure,
 }
 
 impl Rule {
@@ -41,6 +50,7 @@ impl Rule {
             Rule::PanicInLib => "panic-in-lib",
             Rule::InstantInMachine => "instant-in-machine",
             Rule::UndocumentedPub => "undocumented-pub",
+            Rule::AssertInMeasure => "assert-in-measure",
         }
     }
 }
@@ -179,6 +189,27 @@ fn declares_pub_fn(stripped: &str) -> bool {
     false
 }
 
+/// Does the stripped line invoke a hard assertion macro? Matches
+/// `assert!`, `assert_eq!`, and `assert_ne!` but not `debug_assert*!`
+/// (the match must not be preceded by an identifier character).
+fn invokes_hard_assert(stripped: &str) -> bool {
+    for needle in ["assert!", "assert_eq!", "assert_ne!"] {
+        let mut from = 0;
+        while let Some(pos) = stripped[from..].find(needle) {
+            let at = from + pos;
+            let preceded_by_ident = at > 0 && {
+                let b = stripped.as_bytes()[at - 1];
+                b.is_ascii_alphanumeric() || b == b'_'
+            };
+            if !preceded_by_ident {
+                return true;
+            }
+            from = at + needle.len();
+        }
+    }
+    false
+}
+
 /// Lints one file's contents. `relpath` is workspace-relative with `/`
 /// separators (e.g. `crates/comm/src/universe.rs`); it decides which
 /// rules apply.
@@ -189,6 +220,7 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
     let check_panics = NO_PANIC_CRATES.contains(&crate_name);
     let check_instant = crate_name == "machine";
     let check_docs = crate_name == "comm";
+    let check_measure_asserts = crate_name == "statevec" && relpath.ends_with("/measure.rs");
     if !(check_panics || check_instant || check_docs) {
         return Vec::new();
     }
@@ -254,6 +286,17 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
                     rule: Rule::InstantInMachine,
                     message: "`Instant::now()` in the analytic model; estimates must be \
                               pure functions of their inputs"
+                        .to_string(),
+                });
+            }
+            if check_measure_asserts && invokes_hard_assert(&stripped) {
+                violations.push(Violation {
+                    file: relpath.to_string(),
+                    line: line_no,
+                    rule: Rule::AssertInMeasure,
+                    message: "`assert!` in a measure path is error handling in disguise; \
+                              return a typed `MeasureError` instead \
+                              (or `// qse-lint: allow` with justification)"
                         .to_string(),
                 });
             }
@@ -466,6 +509,39 @@ mod tests {
     fn doc_examples_do_not_count_as_violations() {
         let src = "/// ```\n/// x.unwrap();\n/// ```\npub fn documented() {}\n";
         assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn assert_in_measure_path_flagged() {
+        let src = "pub fn collapse() {\n    assert!(p > 1e-15, \"zero-probability\");\n}\n";
+        let v = lint_file("crates/statevec/src/measure.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::AssertInMeasure);
+        assert_eq!(v[0].line, 2);
+        // The same assert anywhere else in statevec is invariant checking.
+        assert!(lint_file("crates/statevec/src/single.rs", src).is_empty());
+    }
+
+    #[test]
+    fn assert_eq_and_ne_flagged_in_measure_debug_assert_allowed() {
+        let src = "fn f() {\n    debug_assert!(x > 0.0);\n    debug_assert_eq!(a, b);\n    \
+                   assert_eq!(a, b);\n    assert_ne!(a, c);\n}\n";
+        let v = lint_file("crates/statevec/src/measure.rs", src);
+        let lines: Vec<usize> = v
+            .iter()
+            .filter(|x| x.rule == Rule::AssertInMeasure)
+            .map(|x| x.line)
+            .collect();
+        assert_eq!(lines, vec![4, 5]);
+    }
+
+    #[test]
+    fn measure_asserts_exempt_in_tests_and_with_allow_marker() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   assert!(true);\n        assert_eq!(1, 1);\n    }\n}\n";
+        assert!(lint_file("crates/statevec/src/measure.rs", src).is_empty());
+        let src = "fn f() {\n    assert!(invariant) // qse-lint: allow — structural invariant\n}\n";
+        assert!(lint_file("crates/statevec/src/measure.rs", src).is_empty());
     }
 
     #[test]

@@ -40,3 +40,31 @@ fn the_linter_bites_on_a_seeded_unwrap() {
     assert_eq!(v.len(), 1, "{v:?}");
     assert_eq!(v[0].rule, qse_check::Rule::PanicInLib);
 }
+
+#[test]
+fn the_linter_bites_on_a_seeded_measure_assert() {
+    // Same guard for R4: the real measure.rs must be clean, and an
+    // `assert!`-as-error-handling seeded into it must be caught. This is
+    // exactly the pattern the pre-fix `collapse` used.
+    let root = workspace_root();
+    let path = root.join("crates/statevec/src/measure.rs");
+    let content = std::fs::read_to_string(&path).expect("readable");
+    assert!(
+        qse_check::lint_file("crates/statevec/src/measure.rs", &content).is_empty(),
+        "baseline measure.rs must be clean"
+    );
+    let seeded = format!(
+        "{content}\nfn seeded(p: f64) {{\n    \
+         assert!(p > 1e-15, \"collapsing onto a zero-probability outcome\");\n}}\n"
+    );
+    let v = qse_check::lint_file("crates/statevec/src/measure.rs", &seeded);
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, qse_check::Rule::AssertInMeasure);
+    // The same seed outside a measure path is legitimate invariant
+    // checking and stays clean.
+    assert!(qse_check::lint_file(
+        "crates/statevec/src/single.rs",
+        "fn seeded(p: f64) { assert!(p > 1e-15); }\n"
+    )
+    .is_empty());
+}

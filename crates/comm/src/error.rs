@@ -79,6 +79,19 @@ pub enum CommError {
         /// Attempts made before giving up (first try + retries).
         attempts: u32,
     },
+    /// A collective collapse targeted a measurement outcome whose
+    /// all-reduced probability is (numerically) zero. Raised by the
+    /// distributed measurement path instead of asserting, so a caller
+    /// bug surfaces as a diagnosable error on every rank rather than a
+    /// poisoned universe. (The probability itself is not carried: it is
+    /// below the 1e-15 floor by definition, and keeping the variant
+    /// field-comparable preserves `Eq` for the whole error type.)
+    ImpossibleOutcome {
+        /// The measured qubit.
+        qubit: u32,
+        /// The requested classical outcome.
+        bit: u8,
+    },
     /// Checksummed payloads from `(src, tag)` kept failing validation and
     /// the retransmit budget ran out with no pristine copy arriving —
     /// permanent corruption on this link.
@@ -117,6 +130,10 @@ impl fmt::Display for CommError {
             CommError::Transient { op, peer, attempts } => write!(
                 f,
                 "transient {op} fault towards rank {peer} persisted for {attempts} attempts (retry budget exhausted)"
+            ),
+            CommError::ImpossibleOutcome { qubit, bit } => write!(
+                f,
+                "cannot collapse qubit {qubit} onto bit {bit}: outcome probability is numerically zero"
             ),
             CommError::Corrupt { src, tag, discarded } => write!(
                 f,
@@ -164,6 +181,10 @@ mod tests {
         assert!(text.contains("transient send fault"));
         assert!(text.contains("rank 3"));
         assert!(text.contains("5 attempts"));
+        let e = CommError::ImpossibleOutcome { qubit: 6, bit: 1 };
+        let text = e.to_string();
+        assert!(text.contains("qubit 6"));
+        assert!(text.contains("bit 1"));
         let e = CommError::Corrupt {
             src: 2,
             tag: 11,

@@ -26,7 +26,7 @@ use qse_comm::chunking::{exchange, ChunkPolicy, ExchangeMode, StreamedExchange};
 use qse_comm::collective;
 use qse_comm::message::{bytes_to_f64s, bytes_to_f64s_into, f64s_to_bytes, f64s_to_bytes_into};
 use qse_comm::Result as CommResult;
-use qse_comm::{Communicator, TrafficStats};
+use qse_comm::{CommError, Communicator, TrafficStats};
 use qse_math::bits;
 use qse_math::Complex64;
 
@@ -590,13 +590,17 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
     /// collapse. Every rank must call this collectively (it all-reduces
     /// the outcome probability).
     ///
-    /// # Panics
-    /// Panics when the requested outcome has (numerically) zero
-    /// probability.
+    /// Returns [`CommError::ImpossibleOutcome`] on every rank when the
+    /// requested outcome has (numerically) zero probability; the state
+    /// is untouched. The all-reduce guarantees every rank computes the
+    /// same `p`, so all ranks agree on the error and the collective
+    /// stays in lockstep.
     pub fn collapse(&mut self, qubit: u32, bit: u8) -> CommResult<()> {
         let p1 = self.prob_one(qubit)?;
         let p = if bit == 1 { p1 } else { 1.0 - p1 };
-        assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
+        if p <= 1e-15 {
+            return Err(CommError::ImpossibleOutcome { qubit, bit });
+        }
         let scale = 1.0 / p.sqrt();
         if self.layout.is_local(qubit) {
             let mask = 1u64 << qubit;
@@ -1064,7 +1068,7 @@ mod tests {
         for u in [0.05f64, 0.35, 0.65, 0.95] {
             let mut single: SingleState = SingleState::zero_state(6);
             single.run(&c);
-            let out = measure_qubit_with(&mut single, 3, u);
+            let out = measure_qubit_with(&mut single, 3, u).unwrap();
             let gathered = Universe::new(4).run(|comm| {
                 let mut st: DistributedState<SoaStorage> =
                     DistributedState::zero_state(comm, 6, DistConfig::default());
@@ -1079,13 +1083,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero-probability")]
-    fn impossible_distributed_collapse_panics() {
-        Universe::new(2).run(|comm| {
+    fn impossible_distributed_collapse_is_a_typed_error() {
+        // |0000⟩ has zero probability of observing bit 1; every rank
+        // must agree on the error instead of asserting.
+        let errs = Universe::new(2).run(|comm| {
             let mut st: DistributedState<SoaStorage> =
                 DistributedState::zero_state(comm, 4, DistConfig::default());
-            st.collapse(3, 1).unwrap(); // |0000⟩ has zero probability of bit 1
+            st.collapse(3, 1).unwrap_err()
         });
+        for e in errs {
+            assert_eq!(e, CommError::ImpossibleOutcome { qubit: 3, bit: 1 });
+        }
     }
 
     #[test]

@@ -6,19 +6,69 @@
 //! This module provides those measurements for the single-address-space
 //! engine; the distributed engine exposes its own reduced probabilities
 //! (`DistributedState::prob_one`).
+//!
+//! Everything here returns `Result` with a typed [`MeasureError`] —
+//! a zero-norm register or an impossible collapse is a caller bug or a
+//! numerical boundary, not a reason to abort a library process. Only
+//! binaries (CLI, examples) convert these into panics.
 
 use crate::single::SingleState;
 use crate::storage::AmpStorage;
 use qse_math::Complex64;
 use qse_util::rng::Rng;
 
+/// Probability floor below which an outcome is treated as impossible.
+const MIN_OUTCOME_PROB: f64 = 1e-15;
+
+/// Errors from the measurement path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasureError {
+    /// The register has zero norm — there is no distribution to sample.
+    ZeroNorm,
+    /// A collapse targeted an outcome with (numerically) zero
+    /// probability.
+    ImpossibleOutcome {
+        /// The measured qubit.
+        qubit: u32,
+        /// The requested classical outcome.
+        bit: u8,
+        /// The outcome's computed probability.
+        probability: f64,
+    },
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::ZeroNorm => write!(f, "cannot sample from a zero-norm state"),
+            MeasureError::ImpossibleOutcome {
+                qubit,
+                bit,
+                probability,
+            } => write!(
+                f,
+                "cannot collapse qubit {qubit} onto bit {bit}: outcome probability {probability:.3e} is below {MIN_OUTCOME_PROB:.0e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Draws one basis-state index from the state's |amplitude|² distribution.
 ///
 /// Inverse-CDF walk over all amplitudes; numerically safe because any
 /// residual from rounding is assigned to the last nonzero amplitude.
-pub fn sample_index<S: AmpStorage, R: Rng>(state: &SingleState<S>, rng: &mut R) -> u64 {
+/// One-shot callers pay the same O(2ⁿ) as building a distribution table;
+/// for repeated draws use [`sample_counts`], which amortises the table.
+pub fn sample_index<S: AmpStorage, R: Rng>(
+    state: &SingleState<S>,
+    rng: &mut R,
+) -> Result<u64, MeasureError> {
     let total = state.norm_sqr();
-    assert!(total > 0.0, "cannot sample from a zero state");
+    if total <= 0.0 {
+        return Err(MeasureError::ZeroNorm);
+    }
     let mut u: f64 = rng.random_range(0.0..total);
     let len = state.storage().len() as u64;
     let mut last_nonzero = 0u64;
@@ -27,25 +77,57 @@ pub fn sample_index<S: AmpStorage, R: Rng>(state: &SingleState<S>, rng: &mut R) 
         if p > 0.0 {
             last_nonzero = i;
             if u < p {
-                return i;
+                return Ok(i);
             }
             u -= p;
         }
     }
-    last_nonzero
+    Ok(last_nonzero)
 }
 
 /// Draws `shots` samples and returns a histogram over basis indices.
+///
+/// Builds the cumulative distribution once and binary-searches it per
+/// draw — O(2ⁿ + shots·n) instead of the O(shots·2ⁿ) of repeated
+/// [`sample_index`] walks. The per-draw selection matches the linear
+/// walk: the smallest index whose inclusive prefix sum exceeds the
+/// uniform draw, with any rounding residual assigned to the last
+/// nonzero amplitude.
 pub fn sample_counts<S: AmpStorage, R: Rng>(
     state: &SingleState<S>,
     rng: &mut R,
     shots: usize,
-) -> std::collections::BTreeMap<u64, usize> {
+) -> Result<std::collections::BTreeMap<u64, usize>, MeasureError> {
+    // The same total as `sample_index` (the chunk-reduced norm), so both
+    // paths feed `random_range` identically for a given RNG stream.
+    let total = state.norm_sqr();
+    if total <= 0.0 {
+        return Err(MeasureError::ZeroNorm);
+    }
+    let len = state.storage().len();
+    let mut cdf = Vec::with_capacity(len);
+    let mut acc = 0.0f64;
+    let mut last_nonzero = 0u64;
+    for i in 0..len as u64 {
+        let p = state.amplitude(i).norm_sqr();
+        if p > 0.0 {
+            last_nonzero = i;
+        }
+        acc += p;
+        cdf.push(acc);
+    }
     let mut counts = std::collections::BTreeMap::new();
     for _ in 0..shots {
-        *counts.entry(sample_index(state, rng)).or_insert(0) += 1;
+        let u: f64 = rng.random_range(0.0..total);
+        let idx = cdf.partition_point(|&c| c <= u);
+        let drawn = if idx == len {
+            last_nonzero
+        } else {
+            idx as u64
+        };
+        *counts.entry(drawn).or_insert(0) += 1;
     }
-    counts
+    Ok(counts)
 }
 
 /// The outcome of a projective single-qubit measurement.
@@ -63,7 +145,7 @@ pub fn measure_qubit<S: AmpStorage, R: Rng>(
     state: &mut SingleState<S>,
     qubit: u32,
     rng: &mut R,
-) -> MeasureOutcome {
+) -> Result<MeasureOutcome, MeasureError> {
     measure_qubit_with(state, qubit, rng.random_range(0.0..1.0))
 }
 
@@ -77,24 +159,34 @@ pub fn measure_qubit_with<S: AmpStorage>(
     state: &mut SingleState<S>,
     qubit: u32,
     u: f64,
-) -> MeasureOutcome {
+) -> Result<MeasureOutcome, MeasureError> {
     let p1 = state.prob_one(qubit);
     let bit = u8::from(u < p1);
-    collapse(state, qubit, bit);
-    MeasureOutcome {
+    collapse(state, qubit, bit)?;
+    Ok(MeasureOutcome {
         bit,
         probability: if bit == 1 { p1 } else { 1.0 - p1 },
-    }
+    })
 }
 
 /// Projects `qubit` onto `bit` and renormalises.
 ///
-/// # Panics
-/// Panics when the requested outcome has zero probability.
-pub fn collapse<S: AmpStorage>(state: &mut SingleState<S>, qubit: u32, bit: u8) {
+/// Returns [`MeasureError::ImpossibleOutcome`] when the requested
+/// outcome has (numerically) zero probability; the state is untouched.
+pub fn collapse<S: AmpStorage>(
+    state: &mut SingleState<S>,
+    qubit: u32,
+    bit: u8,
+) -> Result<(), MeasureError> {
     let p1 = state.prob_one(qubit);
     let p = if bit == 1 { p1 } else { 1.0 - p1 };
-    assert!(p > 1e-15, "collapsing onto a zero-probability outcome");
+    if p <= MIN_OUTCOME_PROB {
+        return Err(MeasureError::ImpossibleOutcome {
+            qubit,
+            bit,
+            probability: p,
+        });
+    }
     let scale = 1.0 / p.sqrt();
     let mask = 1u64 << qubit;
     let len = state.storage().len() as u64;
@@ -108,6 +200,7 @@ pub fn collapse<S: AmpStorage>(state: &mut SingleState<S>, qubit: u32, bit: u8) 
         };
         state.set_amplitude(i, v);
     }
+    Ok(())
 }
 
 impl<S: AmpStorage> SingleState<S> {
@@ -135,7 +228,7 @@ mod tests {
         let s: SingleState = SingleState::basis_state(4, 11);
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..20 {
-            assert_eq!(sample_index(&s, &mut rng), 11);
+            assert_eq!(sample_index(&s, &mut rng).unwrap(), 11);
         }
     }
 
@@ -143,7 +236,7 @@ mod tests {
     fn bell_samples_only_correlated_outcomes() {
         let s = bell();
         let mut rng = StdRng::seed_from_u64(7);
-        let counts = sample_counts(&s, &mut rng, 2000);
+        let counts = sample_counts(&s, &mut rng, 2000).unwrap();
         assert!(counts.keys().all(|&k| k == 0b00 || k == 0b11));
         let c00 = *counts.get(&0b00).unwrap_or(&0) as f64;
         // Roughly balanced (5σ ≈ 112 at n = 2000, p = 1/2).
@@ -151,11 +244,54 @@ mod tests {
     }
 
     #[test]
+    fn zero_state_sampling_is_an_error_not_a_panic() {
+        let mut s: SingleState = SingleState::basis_state(3, 0);
+        for i in 0..8 {
+            s.set_amplitude(i, Complex64::ZERO);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            sample_index(&s, &mut rng).unwrap_err(),
+            MeasureError::ZeroNorm
+        );
+        assert_eq!(
+            sample_counts(&s, &mut rng, 10).unwrap_err(),
+            MeasureError::ZeroNorm
+        );
+        assert!(MeasureError::ZeroNorm.to_string().contains("zero-norm"));
+    }
+
+    #[test]
+    fn cdf_sampler_matches_linear_walk_histogram() {
+        // Regression for the O(shots·2ⁿ) sampler: the CDF + binary-search
+        // path must agree with the per-shot linear walk histogram-for-
+        // histogram under a fixed seed (same draws, same selections).
+        let n = 16;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        // Skew the distribution so the test isn't uniform-only.
+        c.phase(3, 0.7).cnot(0, 5).phase(5, -1.3).h(7);
+        let s: SingleState = SingleState::simulate(&c);
+        let shots = 10_000;
+        let mut rng_old = StdRng::seed_from_u64(2024);
+        let mut old = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            *old.entry(sample_index(&s, &mut rng_old).unwrap())
+                .or_insert(0usize) += 1;
+        }
+        let mut rng_new = StdRng::seed_from_u64(2024);
+        let new = sample_counts(&s, &mut rng_new, shots).unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn measure_collapses_partner_qubit() {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
             let mut s = bell();
-            let out = measure_qubit(&mut s, 0, &mut rng);
+            let out = measure_qubit(&mut s, 0, &mut rng).unwrap();
             assert_close(out.probability, 0.5, 1e-12);
             // After measuring qubit 0, qubit 1 is perfectly correlated.
             assert_close(s.prob_one(1), out.bit as f64, 1e-12);
@@ -167,11 +303,11 @@ mod tests {
     fn deterministic_u_selects_the_branch() {
         // u below p1 observes |1>, u at or above p1 observes |0>.
         let mut s = bell();
-        let out = measure_qubit_with(&mut s, 0, 0.25);
+        let out = measure_qubit_with(&mut s, 0, 0.25).unwrap();
         assert_eq!(out.bit, 1);
         assert_close(out.probability, 0.5, 1e-12);
         let mut s = bell();
-        let out = measure_qubit_with(&mut s, 0, 0.75);
+        let out = measure_qubit_with(&mut s, 0, 0.75).unwrap();
         assert_eq!(out.bit, 0);
         assert_close(out.probability, 0.5, 1e-12);
     }
@@ -179,16 +315,30 @@ mod tests {
     #[test]
     fn collapse_renormalises() {
         let mut s = bell();
-        collapse(&mut s, 0, 1);
+        collapse(&mut s, 0, 1).unwrap();
         assert_close(s.norm_sqr(), 1.0, 1e-12);
         assert_close(s.prob_one(0), 1.0, 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "zero-probability")]
-    fn collapse_on_impossible_outcome_panics() {
+    fn collapse_on_impossible_outcome_is_a_typed_error() {
         let mut s: SingleState = SingleState::basis_state(2, 0);
-        collapse(&mut s, 0, 1);
+        let before = s.to_vec();
+        let err = collapse(&mut s, 0, 1).unwrap_err();
+        match err {
+            MeasureError::ImpossibleOutcome {
+                qubit,
+                bit,
+                probability,
+            } => {
+                assert_eq!((qubit, bit), (0, 1));
+                assert!(probability.abs() <= 1e-15);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // The failed collapse left the state untouched.
+        assert_eq!(s.to_vec(), before);
+        assert!(err.to_string().contains("qubit 0"));
     }
 
     #[test]
@@ -197,7 +347,7 @@ mod tests {
         c.h(0).h(1).h(2);
         let s = SingleState::simulate(&c);
         let mut rng = StdRng::seed_from_u64(42);
-        let counts = sample_counts(&s, &mut rng, 4000);
+        let counts = sample_counts(&s, &mut rng, 4000).unwrap();
         assert_eq!(counts.len(), 8);
         for (_, &n) in counts.iter() {
             assert!((n as f64 - 500.0).abs() < 150.0);

@@ -5,12 +5,19 @@
 //! arrays, in order to improve data locality". Each amplitude pair update
 //! touches two 16-byte values instead of four 8-byte values in two far-
 //! apart streams.
+//!
+//! The sweep bodies mirror [`super::SoaStorage`]'s: bounds-check-free
+//! inner loops over equal-length lower/upper sub-slices, hoisted control
+//! tests ([`kernel::Ctrl`]), AVX2+FMA / baseline dual compilation picked
+//! at runtime by [`kernel::use_fma`], and affinity-stable parallel
+//! dispatch through [`parallel_for_each_affine`].
 
-use super::{AmpStorage, PAR_THRESHOLD};
+use super::kernel::{self, Ctrl};
+use super::{AmpStorage, HALF_CHUNK, PAR_THRESHOLD};
 use crate::diagonal::CompiledDiagonal;
 use qse_math::bits;
 use qse_math::{Complex64, Matrix2};
-use qse_util::parallel::{parallel_for_each, parallel_map_sum};
+use qse_util::parallel::{parallel_for_each_affine, parallel_map_sum};
 
 /// Interleaved `Complex64` amplitude array.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,29 +25,227 @@ pub struct AosStorage {
     amps: Vec<Complex64>,
 }
 
-const HALF_CHUNK: usize = 4096;
-
+/// Innermost pair loop: updates `(lo[k], hi[k])` for every `k`. Both
+/// slices have the same length; re-slicing proves it to the compiler.
 #[inline(always)]
-fn apply_block(chunk: &mut [Complex64], stride: usize, base: usize, m: &Matrix2, ctrl_mask: u64) {
-    let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
-    let (lo, hi) = chunk.split_at_mut(stride);
-    for k in 0..stride {
-        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-            continue;
+fn run_pairs<const FMA: bool>(lo: &mut [Complex64], hi: &mut [Complex64], m: &Matrix2) {
+    let n = lo.len();
+    let hi = &mut hi[..n];
+    for k in 0..n {
+        let (a, b) = (lo[k], hi[k]);
+        let (r0, i0, r1, i1) = kernel::pair_terms::<FMA>(a.re, a.im, b.re, b.im, m);
+        lo[k] = Complex64::new(r0, i0);
+        hi[k] = Complex64::new(r1, i1);
+    }
+}
+
+/// Pair sweep for strides below the vector width, with the stride a
+/// compile-time constant so the compiler vectorizes across blocks.
+#[inline(always)]
+fn small_stride_body<const FMA: bool, const STRIDE: usize>(amps: &mut [Complex64], m: &Matrix2) {
+    for blk in amps.chunks_exact_mut(2 * STRIDE) {
+        let (lo, hi) = blk.split_at_mut(STRIDE);
+        for k in 0..STRIDE {
+            let (a, b) = (lo[k], hi[k]);
+            let (r0, i0, r1, i1) = kernel::pair_terms::<FMA>(a.re, a.im, b.re, b.im, m);
+            lo[k] = Complex64::new(r0, i0);
+            hi[k] = Complex64::new(r1, i1);
         }
-        let a0 = lo[k];
-        let a1 = hi[k];
-        lo[k] = m00 * a0 + m01 * a1;
-        hi[k] = m10 * a0 + m11 * a1;
+    }
+}
+
+/// Sweeps a contiguous region of whole `2·stride` blocks whose first
+/// amplitude has local index `base`.
+#[inline(always)]
+fn region_body<const FMA: bool>(
+    amps: &mut [Complex64],
+    stride: usize,
+    base: usize,
+    m: &Matrix2,
+    ctrl: Ctrl,
+) {
+    if matches!(ctrl, Ctrl::All) {
+        match stride {
+            1 => return small_stride_body::<FMA, 1>(amps, m),
+            2 => return small_stride_body::<FMA, 2>(amps, m),
+            4 => return small_stride_body::<FMA, 4>(amps, m),
+            _ => {}
+        }
+    }
+    let block = stride << 1;
+    for (bi, blk) in amps.chunks_exact_mut(block).enumerate() {
+        let lo = base + bi * block;
+        if let Ctrl::Block(mask) = ctrl {
+            if lo as u64 & mask == 0 {
+                continue;
+            }
+        }
+        let (blo, bhi) = blk.split_at_mut(stride);
+        if let Ctrl::Run(run) = ctrl {
+            kernel::for_each_ctrl_run(0, stride, run, |a, b| {
+                run_pairs::<FMA>(&mut blo[a..b], &mut bhi[a..b], m);
+            });
+        } else {
+            run_pairs::<FMA>(blo, bhi, m);
+        }
+    }
+}
+
+/// [`region_body`] compiled with AVX2+FMA codegen.
+///
+/// SAFETY: callers must have verified `avx2` and `fma` CPU support.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn region_fma(amps: &mut [Complex64], stride: usize, base: usize, m: &Matrix2, ctrl: Ctrl) {
+    region_body::<true>(amps, stride, base, m, ctrl)
+}
+
+/// Runtime-dispatched region sweep.
+fn sweep_region(amps: &mut [Complex64], stride: usize, base: usize, m: &Matrix2, ctrl: Ctrl) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if kernel::use_fma() {
+        // SAFETY: `use_fma` verified avx2+fma support on this CPU.
+        unsafe { region_fma(amps, stride, base, m, ctrl) };
+        return;
+    }
+    region_body::<false>(amps, stride, base, m, ctrl)
+}
+
+/// Sweeps one zipped sub-chunk of the single top-qubit block (see the
+/// SoA twin for the half-index/control-bit argument).
+#[inline(always)]
+fn halves_body<const FMA: bool>(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    base: usize,
+    m: &Matrix2,
+    run_ctrl: Option<usize>,
+) {
+    match run_ctrl {
+        None => run_pairs::<FMA>(lo, hi, m),
+        Some(run) => kernel::for_each_ctrl_run(base, lo.len(), run, |a, b| {
+            let (a, b) = (a - base, b - base);
+            run_pairs::<FMA>(&mut lo[a..b], &mut hi[a..b], m);
+        }),
+    }
+}
+
+/// [`halves_body`] compiled with AVX2+FMA codegen.
+///
+/// SAFETY: callers must have verified `avx2` and `fma` CPU support.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn halves_fma(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    base: usize,
+    m: &Matrix2,
+    run_ctrl: Option<usize>,
+) {
+    halves_body::<true>(lo, hi, base, m, run_ctrl)
+}
+
+/// Runtime-dispatched top-qubit sweep.
+fn sweep_halves(
+    lo: &mut [Complex64],
+    hi: &mut [Complex64],
+    base: usize,
+    m: &Matrix2,
+    run_ctrl: Option<usize>,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if kernel::use_fma() {
+        // SAFETY: `use_fma` verified avx2+fma support on this CPU.
+        unsafe { halves_fma(lo, hi, base, m, run_ctrl) };
+        return;
+    }
+    halves_body::<false>(lo, hi, base, m, run_ctrl)
+}
+
+/// Distributed combine over amplitudes `[start, start + amps.len())`.
+#[inline(always)]
+fn combine_body<const FMA: bool>(
+    amps: &mut [Complex64],
+    pairs: &[f64],
+    start: usize,
+    c_mine: Complex64,
+    c_theirs: Complex64,
+    ctrl_run: Option<usize>,
+) {
+    let n = amps.len();
+    let pairs = &pairs[..2 * n];
+    match ctrl_run {
+        None => {
+            for k in 0..n {
+                let other = Complex64::new(pairs[2 * k], pairs[2 * k + 1]);
+                amps[k] = kernel::combine_term::<FMA>(c_mine, amps[k], c_theirs, other);
+            }
+        }
+        Some(run) => kernel::for_each_ctrl_run(start, n, run, |a, b| {
+            for i in a..b {
+                let k = i - start;
+                let other = Complex64::new(pairs[2 * k], pairs[2 * k + 1]);
+                amps[k] = kernel::combine_term::<FMA>(c_mine, amps[k], c_theirs, other);
+            }
+        }),
+    }
+}
+
+/// [`combine_body`] compiled with AVX2+FMA codegen.
+///
+/// SAFETY: callers must have verified `avx2` and `fma` CPU support.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn combine_fma(
+    amps: &mut [Complex64],
+    pairs: &[f64],
+    start: usize,
+    c_mine: Complex64,
+    c_theirs: Complex64,
+    ctrl_run: Option<usize>,
+) {
+    combine_body::<true>(amps, pairs, start, c_mine, c_theirs, ctrl_run)
+}
+
+/// Runtime-dispatched combine sweep.
+fn sweep_combine(
+    amps: &mut [Complex64],
+    pairs: &[f64],
+    start: usize,
+    c_mine: Complex64,
+    c_theirs: Complex64,
+    ctrl_run: Option<usize>,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if kernel::use_fma() {
+        // SAFETY: `use_fma` verified avx2+fma support on this CPU.
+        unsafe { combine_fma(amps, pairs, start, c_mine, c_theirs, ctrl_run) };
+        return;
+    }
+    combine_body::<false>(amps, pairs, start, c_mine, c_theirs, ctrl_run)
+}
+
+/// Contiguous orbit swaps for qubits `a < b` (see the SoA twin).
+#[inline(always)]
+fn swap_runs(lo: &mut [Complex64], hi: &mut [Complex64], run: usize) {
+    debug_assert_eq!(lo.len(), hi.len());
+    debug_assert_eq!(lo.len() % (run << 1), 0);
+    let mut o = run;
+    while o < lo.len() {
+        lo[o..o + run].swap_with_slice(&mut hi[o - run..o]);
+        o += run << 1;
     }
 }
 
 impl AmpStorage for AosStorage {
     fn zeros(len: usize) -> Self {
         assert!(bits::is_pow2(len as u64), "length must be a power of two");
-        AosStorage {
+        let mut s = AosStorage {
             amps: vec![Complex64::ZERO; len],
-        }
+        };
+        // First-touch: fault pages in on their affine owner slots.
+        s.fill_zero();
+        s
     }
 
     #[inline]
@@ -59,7 +264,12 @@ impl AmpStorage for AosStorage {
     }
 
     fn fill_zero(&mut self) {
-        self.amps.fill(Complex64::ZERO);
+        if self.len() >= PAR_THRESHOLD {
+            let chunks: Vec<&mut [Complex64]> = self.amps.chunks_mut(HALF_CHUNK).collect();
+            parallel_for_each_affine(chunks, |c| c.fill(Complex64::ZERO));
+        } else {
+            self.amps.fill(Complex64::ZERO);
+        }
     }
 
     fn norm_sqr_sum(&self) -> f64 {
@@ -79,7 +289,7 @@ impl AmpStorage for AosStorage {
         if let Some(c) = control {
             debug_assert_ne!(c, q, "control equals target");
         }
-        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        let ctrl = Ctrl::new(q, control);
         if len >= PAR_THRESHOLD && block < len {
             let m = *m;
             // Batch several blocks per work item (see SoA kernel).
@@ -87,14 +297,14 @@ impl AmpStorage for AosStorage {
             let task = block * blocks_per_task;
             let chunks: Vec<(usize, &mut [Complex64])> =
                 self.amps.chunks_mut(task).enumerate().collect();
-            parallel_for_each(chunks, |(ti, tc)| {
-                let base = ti * task;
-                for (bi, chunk) in tc.chunks_mut(block).enumerate() {
-                    apply_block(chunk, stride, base + bi * block, &m, ctrl_mask);
-                }
+            parallel_for_each_affine(chunks, |(ti, tc)| {
+                sweep_region(tc, stride, ti * task, &m, ctrl);
             });
         } else if len >= PAR_THRESHOLD {
-            let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+            // Single block: q is the top local qubit, so any control sits
+            // below it.
+            let m = *m;
+            let run_ctrl = control.map(|c| 1usize << c);
             let (lo, hi) = self.amps.split_at_mut(stride);
             let chunks: Vec<(usize, &mut [Complex64], &mut [Complex64])> = lo
                 .chunks_mut(HALF_CHUNK)
@@ -102,23 +312,11 @@ impl AmpStorage for AosStorage {
                 .enumerate()
                 .map(|(ci, (lc, hc))| (ci, lc, hc))
                 .collect();
-            parallel_for_each(chunks, |(ci, lc, hc)| {
-                let base = ci * HALF_CHUNK;
-                for k in 0..lc.len() {
-                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                        continue;
-                    }
-                    let a0 = lc[k];
-                    let a1 = hc[k];
-                    lc[k] = m00 * a0 + m01 * a1;
-                    hc[k] = m10 * a0 + m11 * a1;
-                }
+            parallel_for_each_affine(chunks, |(ci, lc, hc)| {
+                sweep_halves(lc, hc, ci * HALF_CHUNK, &m, run_ctrl);
             });
         } else {
-            for bi in 0..len / block {
-                let lo = bi * block;
-                apply_block(&mut self.amps[lo..lo + block], stride, lo, m, ctrl_mask);
-            }
+            sweep_region(&mut self.amps, stride, 0, m, ctrl);
         }
     }
 
@@ -126,7 +324,7 @@ impl AmpStorage for AosStorage {
         if self.len() >= PAR_THRESHOLD {
             let chunks: Vec<(usize, &mut [Complex64])> =
                 self.amps.chunks_mut(HALF_CHUNK).enumerate().collect();
-            parallel_for_each(chunks, |(ci, chunk)| {
+            parallel_for_each_affine(chunks, |(ci, chunk)| {
                 let base = ci * HALF_CHUNK;
                 for (k, a) in chunk.iter_mut().enumerate() {
                     *a = run.apply(offset | (base + k) as u64, *a);
@@ -143,7 +341,7 @@ impl AmpStorage for AosStorage {
         if self.len() >= PAR_THRESHOLD {
             let chunks: Vec<(usize, &mut [Complex64])> =
                 self.amps.chunks_mut(HALF_CHUNK).enumerate().collect();
-            parallel_for_each(chunks, |(ci, chunk)| {
+            parallel_for_each_affine(chunks, |(ci, chunk)| {
                 let base = ci * HALF_CHUNK;
                 for (k, a) in chunk.iter_mut().enumerate() {
                     *a *= phase(offset | (base + k) as u64);
@@ -158,12 +356,35 @@ impl AmpStorage for AosStorage {
 
     fn swap_local(&mut self, a: u32, b: u32) {
         assert_ne!(a, b, "swap qubits must differ");
-        let len = self.len() as u64;
-        for k in 0..len / 4 {
-            let base = bits::insert_two_zero_bits(k, a, b);
-            let i = (base | (1 << a)) as usize;
-            let j = (base | (1 << b)) as usize;
-            self.amps.swap(i, j);
+        let len = self.len();
+        let (a, b) = (a.min(b), a.max(b));
+        let run = 1usize << a;
+        let seg = 1usize << b;
+        let group = seg << 1;
+        assert!(group <= len, "qubit {b} out of range for {len} amplitudes");
+        if len >= PAR_THRESHOLD && group < len {
+            let per = (HALF_CHUNK / group).max(1);
+            let task = group * per;
+            let chunks: Vec<&mut [Complex64]> = self.amps.chunks_mut(task).collect();
+            parallel_for_each_affine(chunks, |tc| {
+                for g in tc.chunks_exact_mut(group) {
+                    let (lo, hi) = g.split_at_mut(seg);
+                    swap_runs(lo, hi, run);
+                }
+            });
+        } else if len >= PAR_THRESHOLD {
+            // b is the top local qubit: zip-chunk the halves, keeping
+            // chunks aligned to the 2^(a+1) run period.
+            let chunk = HALF_CHUNK.max(run << 1);
+            let (lo, hi) = self.amps.split_at_mut(seg);
+            let items: Vec<(&mut [Complex64], &mut [Complex64])> =
+                lo.chunks_mut(chunk).zip(hi.chunks_mut(chunk)).collect();
+            parallel_for_each_affine(items, |(lc, hc)| swap_runs(lc, hc, run));
+        } else {
+            for g in self.amps.chunks_exact_mut(group) {
+                let (lo, hi) = g.split_at_mut(seg);
+                swap_runs(lo, hi, run);
+            }
         }
     }
 
@@ -189,7 +410,7 @@ impl AmpStorage for AosStorage {
         assert_eq!(chunk.len() % 2, 0, "chunk must hold interleaved pairs");
         let n = chunk.len() / 2;
         assert!(start + n <= self.len(), "chunk beyond local slice");
-        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        let ctrl_run = control.map(|c| 1usize << c);
         let amps = &mut self.amps[start..start + n];
         if n >= PAR_THRESHOLD {
             let chunks: Vec<(usize, &mut [Complex64], &[f64])> = amps
@@ -198,24 +419,11 @@ impl AmpStorage for AosStorage {
                 .enumerate()
                 .map(|(ci, (ac, tc))| (ci, ac, tc))
                 .collect();
-            parallel_for_each(chunks, |(ci, ac, tc)| {
-                let base = start + ci * HALF_CHUNK;
-                for (k, a) in ac.iter_mut().enumerate() {
-                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                        continue;
-                    }
-                    let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
-                    *a = c_mine * *a + c_theirs * other;
-                }
+            parallel_for_each_affine(chunks, |(ci, ac, tc)| {
+                sweep_combine(ac, tc, start + ci * HALF_CHUNK, c_mine, c_theirs, ctrl_run);
             });
         } else {
-            for (k, a) in amps.iter_mut().enumerate() {
-                if ctrl_mask != 0 && (start + k) as u64 & ctrl_mask == 0 {
-                    continue;
-                }
-                let other = Complex64::new(chunk[2 * k], chunk[2 * k + 1]);
-                *a = c_mine * *a + c_theirs * other;
-            }
+            sweep_combine(amps, chunk, start, c_mine, c_theirs, ctrl_run);
         }
     }
 

@@ -15,6 +15,7 @@
 //! rank bits.
 
 mod aos;
+pub(crate) mod kernel;
 mod soa;
 
 pub use aos::AosStorage;
@@ -26,6 +27,12 @@ pub use qse_math::Matrix4;
 /// Minimum length before kernels fan out to Rayon. Below this the
 /// fork-join overhead dwarfs the sweep.
 pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Amplitudes per parallel work item (and per half-block sub-chunk of a
+/// single top-qubit sweep). One definition for both layouts so the
+/// chunk policies — and the affinity partition built on them — can
+/// never drift apart.
+pub const HALF_CHUNK: usize = 4096;
 
 /// The amplitude-array interface every layout implements.
 ///
@@ -339,6 +346,8 @@ pub(crate) mod conformance {
         half_bit_extract_write::<S>();
         init_basis_places_one::<S>();
         large_parallel_sweep_matches_small::<S>();
+        controlled_pairs_multi_chunk::<S>();
+        large_swap_matches_permutation::<S>();
         distributed_1q_range_chunks_match_full::<S>();
         distributed_2q_range_chunks_match_full::<S>();
         swap_range_chunks_match_full::<S>();
@@ -360,6 +369,71 @@ pub(crate) mod conformance {
             let (x, y) = (a.get(i), b.get(i));
             assert_eq!(x.re.to_bits(), y.re.to_bits(), "{ctx}: re at {i}");
             assert_eq!(x.im.to_bits(), y.im.to_bits(), "{ctx}: im at {i}");
+        }
+    }
+
+    /// Layout-agnostic reference for a controlled pair sweep: per-element
+    /// control test, `Complex64` operator arithmetic.
+    fn naive_controlled<S: AmpStorage>(s: &mut S, q: u32, m: &Matrix2, c: u32) {
+        let stride = 1usize << q;
+        for i in 0..s.len() {
+            if (i >> q) & 1 == 1 || (i >> c) & 1 == 0 {
+                continue;
+            }
+            let j = i | stride;
+            let (a0, a1) = (s.get(i), s.get(j));
+            s.set(i, m.m[0] * a0 + m.m[1] * a1);
+            s.set(j, m.m[2] * a0 + m.m[3] * a1);
+        }
+    }
+
+    fn controlled_pairs_multi_chunk<S: AmpStorage>() {
+        use qse_math::approx::assert_complex_close;
+        // Controlled gates through the parallel branches at chunk bases
+        // ≠ 0: state sizes straddling PAR_THRESHOLD, control above and
+        // below the target, including the single-top-qubit-block path.
+        let m = Matrix2::new(
+            Complex64::new(0.6, 0.1),
+            Complex64::new(-0.3, 0.8),
+            Complex64::new(0.2, -0.4),
+            Complex64::new(0.9, 0.05),
+        );
+        for len in [PAR_THRESHOLD / 2, PAR_THRESHOLD, PAR_THRESHOLD * 2] {
+            let top = len.trailing_zeros() - 1;
+            for &(q, c) in &[
+                (0u32, 5u32),         // control above a bottom target
+                (5, 2),               // control below target, both mid
+                (top - 1, top),       // blocked path at max stride, control above
+                (top, 3),             // single-block path, control far below
+                (top, top - 1),       // single-block path, control just below
+                (2, top),             // top control selects half the blocks
+            ] {
+                let mut got: S = ramp(len);
+                got.apply_pairs(q, &m, Some(c));
+                let mut want: S = ramp(len);
+                naive_controlled(&mut want, q, &m, c);
+                for i in 0..len {
+                    assert_complex_close(got.get(i), want.get(i), 1e-9);
+                }
+            }
+        }
+    }
+
+    fn large_swap_matches_permutation<S: AmpStorage>() {
+        // The parallel chunked swap is a pure permutation, so it must
+        // match the bit-swapped index map exactly (bitwise).
+        let len = PAR_THRESHOLD * 2;
+        let top = len.trailing_zeros() - 1;
+        for &(a, b) in &[(0u32, 3u32), (0, top), (5, top), (top - 1, top), (2, 9)] {
+            let before: S = ramp(len);
+            let mut s = before.clone();
+            s.swap_local(a, b);
+            for i in 0..len as u64 {
+                let j = qse_math::bits::swap_bits(i, a, b);
+                let (x, y) = (s.get(i as usize), before.get(j as usize));
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "swap({a},{b}) re at {i}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "swap({a},{b}) im at {i}");
+            }
         }
     }
 

@@ -3,12 +3,24 @@
 //! This is QuEST's native layout (`qreal *stateVecReal, *stateVecImag`).
 //! Sweeps read two independent streams; the layout benchmark compares it
 //! against the interleaved [`super::AosStorage`].
+//!
+//! The sweep bodies are written for auto-vectorization: every inner loop
+//! runs over four equal-length re/im sub-slices re-sliced to a shared
+//! length (so the compiler drops bounds checks), the control test is
+//! hoisted out of the element loop (see [`kernel::Ctrl`]), and the whole
+//! body is compiled twice — once inside an AVX2+FMA `#[target_feature]`
+//! wrapper, once at baseline features — with the flavour picked at
+//! runtime by [`kernel::use_fma`]. Parallel sweeps dispatch through
+//! [`parallel_for_each_affine`], so a given worker slot always sweeps
+//! the same contiguous amplitude range that it first-touched in
+//! [`AmpStorage::zeros`].
 
-use super::{AmpStorage, PAR_THRESHOLD};
+use super::kernel::{self, Ctrl};
+use super::{AmpStorage, HALF_CHUNK, PAR_THRESHOLD};
 use crate::diagonal::CompiledDiagonal;
 use qse_math::bits;
 use qse_math::{Complex64, Matrix2};
-use qse_util::parallel::{parallel_for_each, parallel_map_sum};
+use qse_util::parallel::{parallel_for_each_affine, parallel_map_sum};
 
 /// Separate `re[]` / `im[]` amplitude arrays.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,62 +29,304 @@ pub struct SoaStorage {
     im: Vec<f64>,
 }
 
-/// Chunk size for parallel sweeps over a single top-qubit block.
-const HALF_CHUNK: usize = 4096;
-
+/// Innermost pair loop: updates `(lo[k], hi[k])` for every `k`. All four
+/// slices have the same length; the re-slicing below proves it to the
+/// compiler so the loop vectorizes without bounds checks.
 #[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn pair_update(
-    re0: &mut f64,
-    im0: &mut f64,
-    re1: &mut f64,
-    im1: &mut f64,
-    m00: Complex64,
-    m01: Complex64,
-    m10: Complex64,
-    m11: Complex64,
+fn run_pairs<const FMA: bool>(
+    rlo: &mut [f64],
+    ilo: &mut [f64],
+    rhi: &mut [f64],
+    ihi: &mut [f64],
+    m: &Matrix2,
 ) {
-    let a0 = Complex64::new(*re0, *im0);
-    let a1 = Complex64::new(*re1, *im1);
-    let b0 = m00 * a0 + m01 * a1;
-    let b1 = m10 * a0 + m11 * a1;
-    *re0 = b0.re;
-    *im0 = b0.im;
-    *re1 = b1.re;
-    *im1 = b1.im;
+    let n = rlo.len();
+    let (ilo, rhi, ihi) = (&mut ilo[..n], &mut rhi[..n], &mut ihi[..n]);
+    for k in 0..n {
+        let (r0, i0, r1, i1) = kernel::pair_terms::<FMA>(rlo[k], ilo[k], rhi[k], ihi[k], m);
+        rlo[k] = r0;
+        ilo[k] = i0;
+        rhi[k] = r1;
+        ihi[k] = i1;
+    }
 }
 
-/// Applies the matrix to all pairs inside one `2·stride` block whose first
-/// element has local index `base`.
+/// Pair sweep for strides below the vector width: the per-block trip
+/// count is tiny, so the stride must be a compile-time constant for the
+/// compiler to vectorize across block boundaries.
 #[inline(always)]
-fn apply_block(
+fn small_stride_body<const FMA: bool, const STRIDE: usize>(
+    rc: &mut [f64],
+    ic: &mut [f64],
+    m: &Matrix2,
+) {
+    for (rb, ib) in rc
+        .chunks_exact_mut(2 * STRIDE)
+        .zip(ic.chunks_exact_mut(2 * STRIDE))
+    {
+        let (rlo, rhi) = rb.split_at_mut(STRIDE);
+        let (ilo, ihi) = ib.split_at_mut(STRIDE);
+        for k in 0..STRIDE {
+            let (r0, i0, r1, i1) = kernel::pair_terms::<FMA>(rlo[k], ilo[k], rhi[k], ihi[k], m);
+            rlo[k] = r0;
+            ilo[k] = i0;
+            rhi[k] = r1;
+            ihi[k] = i1;
+        }
+    }
+}
+
+/// Sweeps a contiguous region of whole `2·stride` blocks whose first
+/// amplitude has local index `base`.
+#[inline(always)]
+fn region_body<const FMA: bool>(
     rc: &mut [f64],
     ic: &mut [f64],
     stride: usize,
     base: usize,
     m: &Matrix2,
-    ctrl_mask: u64,
+    ctrl: Ctrl,
 ) {
-    let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
-    let (rlo, rhi) = rc.split_at_mut(stride);
-    let (ilo, ihi) = ic.split_at_mut(stride);
-    for k in 0..stride {
-        if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-            continue;
+    if matches!(ctrl, Ctrl::All) {
+        match stride {
+            1 => return small_stride_body::<FMA, 1>(rc, ic, m),
+            2 => return small_stride_body::<FMA, 2>(rc, ic, m),
+            4 => return small_stride_body::<FMA, 4>(rc, ic, m),
+            _ => {}
         }
-        pair_update(
-            &mut rlo[k], &mut ilo[k], &mut rhi[k], &mut ihi[k], m00, m01, m10, m11,
-        );
+    }
+    let block = stride << 1;
+    for (bi, (rb, ib)) in rc
+        .chunks_exact_mut(block)
+        .zip(ic.chunks_exact_mut(block))
+        .enumerate()
+    {
+        let lo = base + bi * block;
+        if let Ctrl::Block(mask) = ctrl {
+            if lo as u64 & mask == 0 {
+                continue;
+            }
+        }
+        let (rlo, rhi) = rb.split_at_mut(stride);
+        let (ilo, ihi) = ib.split_at_mut(stride);
+        if let Ctrl::Run(run) = ctrl {
+            kernel::for_each_ctrl_run(0, stride, run, |a, b| {
+                run_pairs::<FMA>(
+                    &mut rlo[a..b],
+                    &mut ilo[a..b],
+                    &mut rhi[a..b],
+                    &mut ihi[a..b],
+                    m,
+                );
+            });
+        } else {
+            run_pairs::<FMA>(rlo, ilo, rhi, ihi, m);
+        }
+    }
+}
+
+/// [`region_body`] compiled with AVX2+FMA codegen.
+///
+/// SAFETY: callers must have verified `avx2` and `fma` CPU support.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn region_fma(
+    rc: &mut [f64],
+    ic: &mut [f64],
+    stride: usize,
+    base: usize,
+    m: &Matrix2,
+    ctrl: Ctrl,
+) {
+    region_body::<true>(rc, ic, stride, base, m, ctrl)
+}
+
+/// Runtime-dispatched region sweep: one flavour check per work item,
+/// amortized over thousands of amplitudes.
+fn sweep_region(rc: &mut [f64], ic: &mut [f64], stride: usize, base: usize, m: &Matrix2, ctrl: Ctrl) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if kernel::use_fma() {
+        // SAFETY: `use_fma` verified avx2+fma support on this CPU.
+        unsafe { region_fma(rc, ic, stride, base, m, ctrl) };
+        return;
+    }
+    region_body::<false>(rc, ic, stride, base, m, ctrl)
+}
+
+/// Sweeps one zipped sub-chunk of the single top-qubit block: `rl`/`il`
+/// hold lower-half amplitudes `[base, base + len)`, `rh`/`ih` the
+/// matching upper-half amplitudes. A control here is always below the
+/// target (the target is the top local qubit), so it arrives as a run
+/// length; half-indices and full indices agree on every bit below `q`.
+#[inline(always)]
+fn halves_body<const FMA: bool>(
+    rl: &mut [f64],
+    il: &mut [f64],
+    rh: &mut [f64],
+    ih: &mut [f64],
+    base: usize,
+    m: &Matrix2,
+    run_ctrl: Option<usize>,
+) {
+    match run_ctrl {
+        None => run_pairs::<FMA>(rl, il, rh, ih, m),
+        Some(run) => kernel::for_each_ctrl_run(base, rl.len(), run, |a, b| {
+            let (a, b) = (a - base, b - base);
+            run_pairs::<FMA>(
+                &mut rl[a..b],
+                &mut il[a..b],
+                &mut rh[a..b],
+                &mut ih[a..b],
+                m,
+            );
+        }),
+    }
+}
+
+/// [`halves_body`] compiled with AVX2+FMA codegen.
+///
+/// SAFETY: callers must have verified `avx2` and `fma` CPU support.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn halves_fma(
+    rl: &mut [f64],
+    il: &mut [f64],
+    rh: &mut [f64],
+    ih: &mut [f64],
+    base: usize,
+    m: &Matrix2,
+    run_ctrl: Option<usize>,
+) {
+    halves_body::<true>(rl, il, rh, ih, base, m, run_ctrl)
+}
+
+/// Runtime-dispatched top-qubit sweep.
+fn sweep_halves(
+    rl: &mut [f64],
+    il: &mut [f64],
+    rh: &mut [f64],
+    ih: &mut [f64],
+    base: usize,
+    m: &Matrix2,
+    run_ctrl: Option<usize>,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if kernel::use_fma() {
+        // SAFETY: `use_fma` verified avx2+fma support on this CPU.
+        unsafe { halves_fma(rl, il, rh, ih, base, m, run_ctrl) };
+        return;
+    }
+    halves_body::<false>(rl, il, rh, ih, base, m, run_ctrl)
+}
+
+/// Distributed combine over amplitudes `[start, start + rs.len())`, with
+/// `pairs` holding the peer's interleaved values for the same range.
+#[inline(always)]
+fn combine_body<const FMA: bool>(
+    rs: &mut [f64],
+    is: &mut [f64],
+    pairs: &[f64],
+    start: usize,
+    c_mine: Complex64,
+    c_theirs: Complex64,
+    ctrl_run: Option<usize>,
+) {
+    let n = rs.len();
+    let (is, pairs) = (&mut is[..n], &pairs[..2 * n]);
+    match ctrl_run {
+        None => {
+            for k in 0..n {
+                let v = kernel::combine_term::<FMA>(
+                    c_mine,
+                    Complex64::new(rs[k], is[k]),
+                    c_theirs,
+                    Complex64::new(pairs[2 * k], pairs[2 * k + 1]),
+                );
+                rs[k] = v.re;
+                is[k] = v.im;
+            }
+        }
+        Some(run) => kernel::for_each_ctrl_run(start, n, run, |a, b| {
+            for i in a..b {
+                let k = i - start;
+                let v = kernel::combine_term::<FMA>(
+                    c_mine,
+                    Complex64::new(rs[k], is[k]),
+                    c_theirs,
+                    Complex64::new(pairs[2 * k], pairs[2 * k + 1]),
+                );
+                rs[k] = v.re;
+                is[k] = v.im;
+            }
+        }),
+    }
+}
+
+/// [`combine_body`] compiled with AVX2+FMA codegen.
+///
+/// SAFETY: callers must have verified `avx2` and `fma` CPU support.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn combine_fma(
+    rs: &mut [f64],
+    is: &mut [f64],
+    pairs: &[f64],
+    start: usize,
+    c_mine: Complex64,
+    c_theirs: Complex64,
+    ctrl_run: Option<usize>,
+) {
+    combine_body::<true>(rs, is, pairs, start, c_mine, c_theirs, ctrl_run)
+}
+
+/// Runtime-dispatched combine sweep.
+#[allow(clippy::too_many_arguments)]
+fn sweep_combine(
+    rs: &mut [f64],
+    is: &mut [f64],
+    pairs: &[f64],
+    start: usize,
+    c_mine: Complex64,
+    c_theirs: Complex64,
+    ctrl_run: Option<usize>,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if kernel::use_fma() {
+        // SAFETY: `use_fma` verified avx2+fma support on this CPU.
+        unsafe { combine_fma(rs, is, pairs, start, c_mine, c_theirs, ctrl_run) };
+        return;
+    }
+    combine_body::<false>(rs, is, pairs, start, c_mine, c_theirs, ctrl_run)
+}
+
+/// Swaps `lo[o..o+run]` with `hi[o-run..o]` for every in-slice run start
+/// `o` with the run bit set — the contiguous form of the orbit swaps
+/// for qubits `a < b`, where `lo` is a bit-`b` = 0 range, `hi` the
+/// matching bit-`b` = 1 range, and `run = 2^a`. Each orbit is touched
+/// exactly once, matching the sequential orbit enumeration.
+#[inline(always)]
+fn swap_runs(lo: &mut [f64], hi: &mut [f64], run: usize) {
+    debug_assert_eq!(lo.len(), hi.len());
+    debug_assert_eq!(lo.len() % (run << 1), 0);
+    let mut o = run;
+    while o < lo.len() {
+        lo[o..o + run].swap_with_slice(&mut hi[o - run..o]);
+        o += run << 1;
     }
 }
 
 impl AmpStorage for SoaStorage {
     fn zeros(len: usize) -> Self {
         assert!(bits::is_pow2(len as u64), "length must be a power of two");
-        SoaStorage {
+        let mut s = SoaStorage {
             re: vec![0.0; len],
             im: vec![0.0; len],
-        }
+        };
+        // First-touch: fault every page in on the worker slot that the
+        // affine partition will route back to it on every later sweep.
+        s.fill_zero();
+        s
     }
 
     #[inline]
@@ -92,8 +346,20 @@ impl AmpStorage for SoaStorage {
     }
 
     fn fill_zero(&mut self) {
-        self.re.fill(0.0);
-        self.im.fill(0.0);
+        if self.len() >= PAR_THRESHOLD {
+            let chunks: Vec<(&mut [f64], &mut [f64])> = self
+                .re
+                .chunks_mut(HALF_CHUNK)
+                .zip(self.im.chunks_mut(HALF_CHUNK))
+                .collect();
+            parallel_for_each_affine(chunks, |(rc, ic)| {
+                rc.fill(0.0);
+                ic.fill(0.0);
+            });
+        } else {
+            self.re.fill(0.0);
+            self.im.fill(0.0);
+        }
     }
 
     fn norm_sqr_sum(&self) -> f64 {
@@ -123,7 +389,7 @@ impl AmpStorage for SoaStorage {
         if let Some(c) = control {
             debug_assert_ne!(c, q, "control equals target");
         }
-        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        let ctrl = Ctrl::new(q, control);
         if len >= PAR_THRESHOLD && block < len {
             let m = *m;
             // Batch several blocks per work item: one item per 2·stride
@@ -138,20 +404,14 @@ impl AmpStorage for SoaStorage {
                 .enumerate()
                 .map(|(ti, (rc, ic))| (ti, rc, ic))
                 .collect();
-            parallel_for_each(chunks, |(ti, rc, ic)| {
-                let base = ti * task;
-                for (bi, (rb, ib)) in rc
-                    .chunks_mut(block)
-                    .zip(ic.chunks_mut(block))
-                    .enumerate()
-                {
-                    apply_block(rb, ib, stride, base + bi * block, &m, ctrl_mask);
-                }
+            parallel_for_each_affine(chunks, |(ti, rc, ic)| {
+                sweep_region(rc, ic, stride, ti * task, &m, ctrl);
             });
         } else if len >= PAR_THRESHOLD {
-            // Single block: q is the top local qubit. Parallelise over the
-            // zipped lower/upper halves instead.
-            let (m00, m01, m10, m11) = (m.m[0], m.m[1], m.m[2], m.m[3]);
+            // Single block: q is the top local qubit, so any control sits
+            // below it. Parallelise over the zipped lower/upper halves.
+            let m = *m;
+            let run_ctrl = control.map(|c| 1usize << c);
             let (rlo, rhi) = self.re.split_at_mut(stride);
             let (ilo, ihi) = self.im.split_at_mut(stride);
             type HalfItem<'a> = (usize, &'a mut [f64], &'a mut [f64], &'a mut [f64], &'a mut [f64]);
@@ -163,31 +423,13 @@ impl AmpStorage for SoaStorage {
                         .zip(ihi.chunks_mut(HALF_CHUNK)),
                 )
                 .enumerate()
-                .map(|(ci, ((rl, rh), (il, ih)))| (ci, rl, rh, il, ih))
+                .map(|(ci, ((rl, rh), (il, ih)))| (ci, rl, il, rh, ih))
                 .collect();
-            parallel_for_each(chunks, |(ci, rl, rh, il, ih)| {
-                let base = ci * HALF_CHUNK;
-                for k in 0..rl.len() {
-                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                        continue;
-                    }
-                    pair_update(
-                        &mut rl[k], &mut il[k], &mut rh[k], &mut ih[k], m00, m01, m10, m11,
-                    );
-                }
+            parallel_for_each_affine(chunks, |(ci, rl, il, rh, ih)| {
+                sweep_halves(rl, il, rh, ih, ci * HALF_CHUNK, &m, run_ctrl);
             });
         } else {
-            for bi in 0..len / block {
-                let lo = bi * block;
-                apply_block(
-                    &mut self.re[lo..lo + block],
-                    &mut self.im[lo..lo + block],
-                    stride,
-                    lo,
-                    m,
-                    ctrl_mask,
-                );
-            }
+            sweep_region(&mut self.re, &mut self.im, stride, 0, m, ctrl);
         }
     }
 
@@ -201,7 +443,7 @@ impl AmpStorage for SoaStorage {
                 .enumerate()
                 .map(|(ci, (rc, ic))| (ci, rc, ic))
                 .collect();
-            parallel_for_each(chunks, |(ci, rc, ic)| {
+            parallel_for_each_affine(chunks, |(ci, rc, ic)| {
                 let base = ci * HALF_CHUNK;
                 for k in 0..rc.len() {
                     let v = run.apply(offset | (base + k) as u64, Complex64::new(rc[k], ic[k]));
@@ -228,7 +470,7 @@ impl AmpStorage for SoaStorage {
                 .enumerate()
                 .map(|(ci, (rc, ic))| (ci, rc, ic))
                 .collect();
-            parallel_for_each(chunks, |(ci, rc, ic)| {
+            parallel_for_each_affine(chunks, |(ci, rc, ic)| {
                 let base = ci * HALF_CHUNK;
                 for k in 0..rc.len() {
                     let p = phase(offset | (base + k) as u64);
@@ -249,15 +491,59 @@ impl AmpStorage for SoaStorage {
 
     fn swap_local(&mut self, a: u32, b: u32) {
         assert_ne!(a, b, "swap qubits must differ");
-        let len = self.len() as u64;
-        // Enumerate indices with bit a = 1, bit b = 0 and swap with their
-        // bit-swapped partner; each orbit is touched exactly once.
-        for k in 0..len / 4 {
-            let base = bits::insert_two_zero_bits(k, a, b);
-            let i = (base | (1 << a)) as usize;
-            let j = (base | (1 << b)) as usize;
-            self.re.swap(i, j);
-            self.im.swap(i, j);
+        let len = self.len();
+        let (a, b) = (a.min(b), a.max(b));
+        let run = 1usize << a;
+        let seg = 1usize << b;
+        let group = seg << 1;
+        assert!(group <= len, "qubit {b} out of range for {len} amplitudes");
+        // Each aligned 2^(b+1) group holds complete orbits: the bit-b = 0
+        // element with bit a set at group offset o swaps with the bit-b = 1
+        // element at offset o − 2^a of the upper segment.
+        if len >= PAR_THRESHOLD && group < len {
+            let per = (HALF_CHUNK / group).max(1);
+            let task = group * per;
+            let chunks: Vec<(&mut [f64], &mut [f64])> = self
+                .re
+                .chunks_mut(task)
+                .zip(self.im.chunks_mut(task))
+                .collect();
+            parallel_for_each_affine(chunks, |(rc, ic)| {
+                for (rg, ig) in rc.chunks_exact_mut(group).zip(ic.chunks_exact_mut(group)) {
+                    let (rl, rh) = rg.split_at_mut(seg);
+                    let (il, ih) = ig.split_at_mut(seg);
+                    swap_runs(rl, rh, run);
+                    swap_runs(il, ih, run);
+                }
+            });
+        } else if len >= PAR_THRESHOLD {
+            // b is the top local qubit: zip-chunk the halves, keeping
+            // chunks aligned to the 2^(a+1) run period.
+            let chunk = HALF_CHUNK.max(run << 1);
+            let (rl, rh) = self.re.split_at_mut(seg);
+            let (il, ih) = self.im.split_at_mut(seg);
+            type SwapItem<'a> = (&'a mut [f64], &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+            let items: Vec<SwapItem<'_>> = rl
+                .chunks_mut(chunk)
+                .zip(rh.chunks_mut(chunk))
+                .zip(il.chunks_mut(chunk).zip(ih.chunks_mut(chunk)))
+                .map(|((rl, rh), (il, ih))| (rl, rh, il, ih))
+                .collect();
+            parallel_for_each_affine(items, |(rl, rh, il, ih)| {
+                swap_runs(rl, rh, run);
+                swap_runs(il, ih, run);
+            });
+        } else {
+            for (rg, ig) in self
+                .re
+                .chunks_exact_mut(group)
+                .zip(self.im.chunks_exact_mut(group))
+            {
+                let (rl, rh) = rg.split_at_mut(seg);
+                let (il, ih) = ig.split_at_mut(seg);
+                swap_runs(rl, rh, run);
+                swap_runs(il, ih, run);
+            }
         }
     }
 
@@ -283,7 +569,7 @@ impl AmpStorage for SoaStorage {
         assert_eq!(chunk.len() % 2, 0, "chunk must hold interleaved pairs");
         let n = chunk.len() / 2;
         assert!(start + n <= self.len(), "chunk beyond local slice");
-        let ctrl_mask = control.map_or(0u64, |c| 1u64 << c);
+        let ctrl_run = control.map(|c| 1usize << c);
         let rs = &mut self.re[start..start + n];
         let is = &mut self.im[start..start + n];
         if n >= PAR_THRESHOLD {
@@ -294,30 +580,11 @@ impl AmpStorage for SoaStorage {
                 .enumerate()
                 .map(|(ci, ((rc, ic), tc))| (ci, rc, ic, tc))
                 .collect();
-            parallel_for_each(chunks, |(ci, rc, ic, tc)| {
-                let base = start + ci * HALF_CHUNK;
-                for k in 0..rc.len() {
-                    if ctrl_mask != 0 && (base + k) as u64 & ctrl_mask == 0 {
-                        continue;
-                    }
-                    let mine = Complex64::new(rc[k], ic[k]);
-                    let other = Complex64::new(tc[2 * k], tc[2 * k + 1]);
-                    let v = c_mine * mine + c_theirs * other;
-                    rc[k] = v.re;
-                    ic[k] = v.im;
-                }
+            parallel_for_each_affine(chunks, |(ci, rc, ic, tc)| {
+                sweep_combine(rc, ic, tc, start + ci * HALF_CHUNK, c_mine, c_theirs, ctrl_run);
             });
         } else {
-            for k in 0..n {
-                if ctrl_mask != 0 && (start + k) as u64 & ctrl_mask == 0 {
-                    continue;
-                }
-                let mine = Complex64::new(rs[k], is[k]);
-                let other = Complex64::new(chunk[2 * k], chunk[2 * k + 1]);
-                let v = c_mine * mine + c_theirs * other;
-                rs[k] = v.re;
-                is[k] = v.im;
-            }
+            sweep_combine(rs, is, chunk, start, c_mine, c_theirs, ctrl_run);
         }
     }
 

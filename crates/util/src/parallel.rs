@@ -96,6 +96,19 @@ thread_local! {
     /// True on pool worker threads: a nested parallel call from inside a
     /// work closure must run inline rather than wait on the pool.
     static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Stable per-thread slot for NUMA-shaped affinity: pool worker `i`
+    /// is slot `i + 1` for the life of the process; every non-pool
+    /// thread (including each job's caller) is slot 0. Affine dispatch
+    /// uses the slot to route a thread back to the same item subrange
+    /// sweep after sweep, so pages stay on the node that first touched
+    /// them.
+    static WORKER_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The calling thread's stable affinity slot in `0..num_threads()`.
+pub fn worker_slot() -> usize {
+    WORKER_SLOT.with(|s| s.get())
 }
 
 /// The process-wide pool, created on first use with `num_threads() − 1`
@@ -113,7 +126,10 @@ fn pool() -> &'static Pool {
         for i in 0..num_threads().saturating_sub(1) {
             std::thread::Builder::new()
                 .name(format!("qse-pool-{i}"))
-                .spawn(move || worker_loop(pool))
+                .spawn(move || {
+                    WORKER_SLOT.with(|s| s.set(i + 1));
+                    worker_loop(pool)
+                })
                 .expect("failed to spawn pool worker");
         }
         pool
@@ -249,6 +265,62 @@ fn for_each_with_threads<T: Send>(n_threads: usize, items: Vec<T>, f: impl Fn(T)
     run_job(&drain);
 }
 
+/// The contiguous item subrange owned by `slot` when `len` items are
+/// statically partitioned across `slots` affinity slots: the first
+/// `len % slots` slots take one extra item. Purely arithmetic, so the
+/// owner of an item never depends on timing — the same slot touches the
+/// same amplitude range on every sweep of a same-length list.
+pub fn affine_range(len: usize, slot: usize, slots: usize) -> std::ops::Range<usize> {
+    debug_assert!(slots >= 1 && slot < slots);
+    let base = len / slots;
+    let rem = len % slots;
+    let start = slot * base + slot.min(rem);
+    start..start + base + usize::from(slot < rem)
+}
+
+/// Runs `f` over every item with stable worker↔item affinity.
+///
+/// Each participating thread first drains the contiguous subrange that
+/// [`affine_range`] assigns to its [`worker_slot`], in index order, then
+/// wraps around and steals from slower participants' leftovers so a
+/// stalled thread never strands work. Because amplitude pages are
+/// first-touched through this same static partition, the common case
+/// (no stealing) keeps every worker sweeping the pages it faulted in.
+///
+/// Results are bit-for-bit identical to [`parallel_for_each`] for
+/// independent items regardless of `QSE_THREADS` — only the visit
+/// *schedule* changes, never the per-item computation. The sequential
+/// fallbacks (single item, one thread, nested call) match
+/// [`parallel_for_each`] exactly.
+pub fn parallel_for_each_affine<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+    let n_threads = num_threads().min(items.len());
+    if n_threads <= 1 || IN_POOL_WORKER.with(|w| w.get()) {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let len = items.len();
+    let slots = num_threads();
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let cells = &cells;
+    let drain = move || {
+        let slot = worker_slot().min(slots - 1);
+        let own = affine_range(len, slot, slots);
+        let (start, end) = (own.start, own.end);
+        // Own range first (index order), then wrap around the rest.
+        let order = (start..end).chain((end..len).chain(0..start));
+        for idx in order {
+            let taken = cells[idx].lock().expect("affine cell poisoned").take();
+            if let Some(item) = taken {
+                sync::sync_point(SyncOp::PoolTask);
+                f(item);
+            }
+        }
+    };
+    run_job(&drain);
+}
+
 /// Maps every item to an `f64` and returns the sum.
 ///
 /// Summation order is deterministic (partial sums are combined in item
@@ -332,6 +404,95 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn affine_ranges_tile_the_items_exactly() {
+        for len in [0usize, 1, 5, 7, 8, 100, 4097] {
+            for slots in [1usize, 2, 3, 4, 7, 16] {
+                let mut covered = Vec::new();
+                for s in 0..slots {
+                    covered.extend(affine_range(len, s, slots));
+                }
+                assert_eq!(
+                    covered,
+                    (0..len).collect::<Vec<_>>(),
+                    "len={len} slots={slots}"
+                );
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> =
+                    (0..slots).map(|s| affine_range(len, s, slots).len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "len={len} slots={slots} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn affine_visits_every_item_exactly_once() {
+        let n = 1000;
+        let flags: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_each_affine((0..n).collect::<Vec<usize>>(), |i| {
+            flags[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn affine_mutates_disjoint_chunks() {
+        let mut data = vec![0u64; 4096];
+        let chunks: Vec<(usize, &mut [u64])> = data.chunks_mut(64).enumerate().collect();
+        parallel_for_each_affine(chunks, |(ci, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 64 + k) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn affine_steals_leftovers_from_slow_slots() {
+        // One deliberately slow item must not strand the rest of its
+        // slot's range: other participants wrap around and finish it.
+        let n = num_threads() * 8;
+        let count = AtomicUsize::new(0);
+        parallel_for_each_affine((0..n).collect::<Vec<usize>>(), |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn worker_slots_are_stable_across_jobs() {
+        // A thread's slot never changes between jobs, and all slots are
+        // inside 0..num_threads().
+        let seen: Mutex<std::collections::HashMap<ThreadId, usize>> =
+            Mutex::new(std::collections::HashMap::new());
+        for _ in 0..4 {
+            parallel_for_each_affine((0..num_threads() * 4).collect::<Vec<usize>>(), |_| {
+                let slot = worker_slot();
+                assert!(slot < num_threads());
+                let mut map = seen.lock().unwrap();
+                let prior = map.insert(std::thread::current().id(), slot);
+                if let Some(p) = prior {
+                    assert_eq!(p, slot, "slot changed between jobs");
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "affine panic 7")]
+    fn affine_panic_propagates() {
+        parallel_for_each_affine((0..256usize).collect::<Vec<_>>(), |i| {
+            if i == 201 {
+                panic!("affine panic {}", 7);
+            }
+        });
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() {
 
     // Sample measurements — nearly every shot hits the marked state.
     let mut rng = StdRng::seed_from_u64(2);
-    let counts = sample_counts(&state, &mut rng, 100);
+    let counts = sample_counts(&state, &mut rng, 100).expect("state has nonzero norm");
     let hits = counts.get(&marked).copied().unwrap_or(0);
     println!("measurement samples: {hits}/100 shots on the marked state");
 

@@ -41,7 +41,7 @@ fn main() {
     // 4. Sample measurement outcomes (all amplitudes are available — the
     //    statevector method's signature advantage, paper §1).
     let mut rng = StdRng::seed_from_u64(1);
-    let counts = sample_counts(&state, &mut rng, 5);
+    let counts = sample_counts(&state, &mut rng, 5).expect("state has nonzero norm");
     println!("5 sampled outcomes: {counts:?}");
 
     // 5. What would this cost on ARCHER2 at 38 qubits? Ask the model.
