@@ -20,6 +20,7 @@ use crate::circuit::Circuit;
 use crate::classify::Layout;
 use crate::gate::Gate;
 use crate::permutation::Permutation;
+use crate::transpile::comm_avoid::Plan;
 
 /// Result of the cache-blocking pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,22 +33,14 @@ pub struct Transpiled {
 }
 
 impl Transpiled {
-    /// Appends explicit SWAPs that restore the identity layout, producing
-    /// a circuit strictly equivalent to the original (at the cost of the
-    /// restoring communication). Useful when downstream code cannot track
-    /// a permuted output.
-    ///
-    /// Gate application composes right-to-left (`[s1, s2]` applies
-    /// `Π(τ2)·Π(τ1)`), while [`Permutation::as_transpositions`] lists
-    /// factors left-to-right, so the list is emitted reversed.
-    pub fn with_layout_restored(&self) -> Circuit {
-        let mut c = self.circuit.clone();
-        let mut swaps = self.layout.inverse().as_transpositions();
-        swaps.reverse();
-        for (a, b) in swaps {
-            c.swap(a, b);
-        }
-        c
+    /// Restores the identity layout through the batched-permutation
+    /// lowering: the result is a [`Plan`] whose steps are the transpiled
+    /// gates followed by a *single* `Permute` step, strictly equivalent
+    /// to the original circuit. Earlier versions emitted one SWAP gate
+    /// per transposition — k distributed exchanges where one batched
+    /// exchange suffices.
+    pub fn with_layout_restored(&self) -> Plan {
+        Plan::from_circuit(&self.circuit, self.layout.clone()).with_layout_restored()
     }
 }
 
@@ -274,13 +267,19 @@ mod tests {
     }
 
     #[test]
-    fn layout_restoration_appends_swaps() {
+    fn layout_restoration_appends_one_permute_step() {
+        use crate::transpile::comm_avoid::PlanStep;
         let mut c = Circuit::new(4);
         c.swap(0, 3).h(1);
         let t = cache_block(&c, 2);
         assert!(!t.layout.is_identity());
         let restored = t.with_layout_restored();
-        assert!(restored.gate_counts()["Swap"] >= 1);
+        assert!(restored.layout.is_identity());
+        assert_eq!(restored.permute_count(), 1, "batched restore: one exchange");
+        let PlanStep::Permute(ref p) = restored.steps[restored.steps.len() - 1] else {
+            panic!("restore must end in a permute step");
+        };
+        assert_eq!(p.compose(&t.layout), Permutation::identity(4));
     }
 
     #[test]

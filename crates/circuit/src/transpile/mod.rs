@@ -12,11 +12,21 @@
 //! [`fusion`] segments maximal runs of diagonal gates, modelling QuEST's
 //! more efficient application of controlled phase gates (§3.2): a run of
 //! diagonal gates can be applied in a single sweep over the statevector.
+//!
+//! [`comm_avoid`] is the cost-model-driven evolution of cache-blocking:
+//! it *searches* placements (greedy baseline, lookahead beam, exhaustive)
+//! against a pluggable exchange-cost oracle and emits batched
+//! [`crate::Permutation`] steps instead of pairwise SWAPs.
 
 pub mod cache_blocking;
+pub mod comm_avoid;
 pub mod fusion;
 pub mod scheduling;
 
 pub use cache_blocking::{cache_block, Transpiled};
+pub use comm_avoid::{
+    comm_avoid, permutation_traffic, ByteOracle, ExchangeOracle, PermTraffic, Plan,
+    PlanStep, StepCost, Strategy,
+};
 pub use fusion::{diagonal_runs, DiagonalRun};
 pub use scheduling::sink_diagonals;

@@ -9,7 +9,7 @@ use qse_circuit::transpile::cache_blocking::cache_block;
 use qse_circuit::Circuit;
 use qse_core::experiment::{fmt_seconds, TextTable};
 use qse_core::scaling::nodes_for;
-use qse_core::{ModelExecutor, SimConfig, ThreadClusterExecutor};
+use qse_core::{comm_avoid_plan, ModelExecutor, SimConfig, ThreadClusterExecutor, TranspileMode};
 use qse_machine::energy::{format_energy, joules_to_kwh};
 use qse_machine::trace::SacctRecord;
 use qse_machine::variants::gpu_machine;
@@ -42,13 +42,21 @@ pub fn help_text() -> String {
        info  [--gpu]                machine description\n\
        run   --qubits N [--ranks R] [--circuit qft|ghz|grover|bv]\n\
              [--non-blocking] [--streamed] [--half-swaps] [--fuse K] [--basis B]\n\
+             [--transpile off|greedy|beam]\n\
              [--faults seed=N[,delay=P][,corrupt=P][,fail=P][,budget=K]...]\n\
                                     execute on the thread cluster (measured);\n\
-                                    --faults injects a seeded deterministic\n\
-                                    fault plan (replay a soak failure by seed)\n\
+                                    --transpile runs the comm-avoiding pass\n\
+                                    first (batched global swaps, cost-model\n\
+                                    scored) and reports measured vs modeled\n\
+                                    exchange bytes; --faults injects a seeded\n\
+                                    deterministic fault plan (replay a soak\n\
+                                    failure by seed)\n\
        model --qubits N [--nodes M] [--node-kind standard|highmem]\n\
              [--freq low|medium|high] [--circuit ...] [--fast] [--streamed] [--gpu]\n\
                                     ARCHER2 model estimate (runtime/energy/CU)\n\
+                                    plus modeled exchange payload, with a\n\
+                                    measured comparison when the setup fits\n\
+                                    in one process (N ≤ 20, nodes ≤ 8)\n\
        sweep [--from A] [--to B] [--fast] [--gpu]\n\
                                     fig-2-style QFT sweep at minimum node counts\n\
        transpile --qubits N --ranks R [--circuit ...]\n\
@@ -89,6 +97,19 @@ fn parse_freq(s: &str) -> Result<CpuFrequency, ArgError> {
         "medium" | "med" => CpuFrequency::Medium,
         "high" => CpuFrequency::High,
         other => return Err(ArgError(format!("unknown frequency `{other}`"))),
+    })
+}
+
+fn parse_transpile(s: &str) -> Result<TranspileMode, ArgError> {
+    Ok(match s {
+        "off" => TranspileMode::Off,
+        "greedy" => TranspileMode::Greedy,
+        "beam" => TranspileMode::Beam,
+        other => {
+            return Err(ArgError(format!(
+                "unknown transpile mode `{other}` (off, greedy, beam)"
+            )))
+        }
     })
 }
 
@@ -145,6 +166,7 @@ fn run(args: &Args) -> Result<String, ArgError> {
         "fuse",
         "basis",
         "faults",
+        "transpile",
     ])?;
     let n: u32 = args.required("qubits")?;
     if n > 24 {
@@ -160,6 +182,7 @@ fn run(args: &Args) -> Result<String, ArgError> {
     cfg.streamed = args.switch("streamed");
     cfg.half_exchange_swaps = args.switch("half-swaps");
     cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
+    cfg.transpile = parse_transpile(&args.string("transpile", "off"))?;
     if let Some(spec) = args.optional::<String>("faults")? {
         cfg.faults = Some(qse_comm::FaultConfig::parse_spec(&spec).map_err(ArgError)?);
     }
@@ -170,7 +193,7 @@ fn run(args: &Args) -> Result<String, ArgError> {
         "ran {} gates on {} qubits over {} ranks in {:.3} s\n\
          distributed-gate share: {:.0} % of wall-clock\n\
          traffic: {} bytes in {} messages ({} bytes/rank)\n\
-         exchange: {} chunks, peak scratch {} bytes\n",
+         exchange: {} chunks, peak scratch {} bytes, {} payload bytes\n",
         p.gate_count,
         p.n_qubits,
         p.n_ranks,
@@ -181,7 +204,21 @@ fn run(args: &Args) -> Result<String, ArgError> {
         p.bytes_per_rank(),
         p.exchange_chunks,
         p.peak_inflight_bytes,
+        p.bytes_exchanged,
     );
+    if let Some(plan) = comm_avoid_plan(&circuit, &cfg) {
+        let machine = archer2();
+        let oracle = qse_machine::ModelOracle::new(&machine, cfg.to_model_config());
+        let modeled = plan.price(&Layout::new(n, ranks), &oracle);
+        out += &format!(
+            "transpile: {} plan steps, {} batched exchange(s); \
+             exchange payload {} bytes measured vs {} modeled\n",
+            plan.steps.len(),
+            plan.permute_count(),
+            p.bytes_exchanged,
+            modeled.bytes,
+        );
+    }
     if let Some(fc) = cfg.faults {
         out += &format!(
             "faults: seed {} — {} injected, {} retries, {} corruptions detected (recovered)\n",
@@ -220,7 +257,7 @@ fn model(args: &Args) -> Result<String, ArgError> {
     cfg.fuse_diagonals = args.optional::<usize>("fuse")?;
     let est = ModelExecutor::new(&machine).run(&circuit, &cfg);
     let sacct = SacctRecord::from_estimate(format!("{}q", n), &est);
-    Ok(format!(
+    let mut out = format!(
         "{}\n\
          runtime {:.1} s | energy {} ({:.1} kWh) | {:.1} CU\n\
          profile: {:.0} % MPI / {:.0} % memory / {:.0} % compute\n",
@@ -232,7 +269,28 @@ fn model(args: &Args) -> Result<String, ArgError> {
         est.comm_fraction() * 100.0,
         est.memory_fraction() * 100.0,
         est.compute_fraction() * 100.0,
-    ))
+    );
+    // Modeled exchange payload, with a measured thread-cluster comparison
+    // whenever the same configuration fits in one process — the honesty
+    // check that the model's traffic inputs are exact.
+    let layout = Layout::new(n, nodes);
+    let summary = comm_summary(&circuit, &layout);
+    let per_rank = if cfg.half_exchange_swaps {
+        summary.bytes_half_exchange_swaps
+    } else {
+        summary.bytes_full_exchange
+    };
+    out += &format!("exchange payload (modeled): {} bytes", per_rank * nodes);
+    if n <= 20 && nodes <= 8 {
+        let run = ThreadClusterExecutor::try_run(&circuit, &cfg, 0, false)
+            .map_err(|e| ArgError(format!("measurement run failed: {e}")))?;
+        out += &format!(
+            " | measured: {} bytes",
+            run.profiled.bytes_exchanged
+        );
+    }
+    out += "\n";
+    Ok(out)
 }
 
 fn sweep(args: &Args) -> Result<String, ArgError> {
@@ -492,6 +550,78 @@ mod tests {
             let err = run_cli(&["run", "--qubits", "6", "--faults", spec]).unwrap_err();
             assert!(err.0.contains("fault"), "spec {spec}: {}", err.0);
         }
+    }
+
+    #[test]
+    fn run_transpile_flag_reports_measured_vs_modeled() {
+        for mode in ["greedy", "beam"] {
+            let out = run_cli(&[
+                "run", "--qubits", "10", "--ranks", "4", "--transpile", mode,
+            ])
+            .unwrap();
+            assert!(out.contains("transpile:"), "{out}");
+            assert!(out.contains("measured vs"), "{out}");
+            // All communication in a transpiled plan flows through batched
+            // permutations, which the oracle prices exactly — measured and
+            // modeled payloads must agree to the byte.
+            let tail = out
+                .lines()
+                .find(|l| l.starts_with("transpile:"))
+                .unwrap();
+            let nums: Vec<u64> = tail
+                .split_whitespace()
+                .filter_map(|w| w.parse().ok())
+                .collect();
+            let (measured, modeled) = (nums[nums.len() - 2], nums[nums.len() - 1]);
+            assert_eq!(measured, modeled, "{tail}");
+            assert!(measured > 0, "{tail}");
+        }
+        assert!(run_cli(&["run", "--qubits", "8", "--transpile", "nope"]).is_err());
+    }
+
+    #[test]
+    fn run_transpile_cuts_exchange_payload() {
+        let payload = |out: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with("exchange:"))
+                .and_then(|l| {
+                    l.split(',')
+                        .find(|part| part.contains("payload"))?
+                        .split_whitespace()
+                        .find_map(|w| w.parse().ok())
+                })
+                .expect("payload figure present")
+        };
+        let off = run_cli(&["run", "--qubits", "12", "--ranks", "4"]).unwrap();
+        let beam =
+            run_cli(&["run", "--qubits", "12", "--ranks", "4", "--transpile", "beam"]).unwrap();
+        assert!(
+            payload(&beam) < payload(&off),
+            "beam {} !< off {}",
+            payload(&beam),
+            payload(&off)
+        );
+    }
+
+    #[test]
+    fn model_reports_modeled_vs_measured_exchange_when_feasible() {
+        let out = run_cli(&["model", "--qubits", "12", "--nodes", "8"]).unwrap();
+        assert!(out.contains("exchange payload (modeled):"), "{out}");
+        assert!(out.contains("| measured:"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("exchange payload"))
+            .unwrap();
+        let nums: Vec<u64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        assert_eq!(nums.len(), 2, "{line}");
+        assert_eq!(nums[0], nums[1], "modeled and measured disagree: {line}");
+        // At full scale the measurement is infeasible: modeled only.
+        let big = run_cli(&["model", "--qubits", "38"]).unwrap();
+        assert!(big.contains("exchange payload (modeled):"), "{big}");
+        assert!(!big.contains("| measured:"), "{big}");
     }
 
     #[test]

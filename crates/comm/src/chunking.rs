@@ -140,6 +140,9 @@ pub fn exchange_blocking(
             recv_buf.extend_from_slice(&payload);
         }
     }
+    if !send_buf.is_empty() {
+        comm.record_exchange_bytes(send_buf.len() as u64);
+    }
     debug_assert_eq!(recv_buf.len(), expected_recv, "peer sent unexpected size");
     Ok(())
 }
@@ -162,6 +165,9 @@ pub fn exchange_nonblocking(
         .collect::<Result<_>>()?;
     for (i, r) in policy.ranges(send_buf.len()).enumerate() {
         comm.isend(peer, chunk_tag(base_tag, i), &send_buf[r])?;
+    }
+    if !send_buf.is_empty() {
+        comm.record_exchange_bytes(send_buf.len() as u64);
     }
     for payload in comm.wait_all(recv_reqs)? {
         recv_buf.extend_from_slice(&payload);
@@ -270,6 +276,9 @@ impl StreamedExchange {
         let chunks = usize::max(self.completed, self.n_send) as u64;
         if chunks > 0 {
             comm.record_exchange_chunks(chunks);
+        }
+        if self.send_total > 0 {
+            comm.record_exchange_bytes(self.send_total as u64);
         }
         Ok(())
     }
@@ -600,6 +609,7 @@ mod tests {
             assert_eq!(s.bytes_sent, 256);
             assert_eq!(s.bytes_received, 256);
             assert_eq!(s.exchange_chunks, 4);
+            assert_eq!(s.bytes_exchanged, 256);
         }
     }
 
@@ -633,6 +643,7 @@ mod tests {
             assert_eq!(s.messages_sent, 4); // 256 / 64
             assert_eq!(s.bytes_sent, 256);
             assert_eq!(s.bytes_received, 256);
+            assert_eq!(s.bytes_exchanged, 256, "exchange payload tracked");
         }
     }
 

@@ -546,6 +546,14 @@ impl Communicator {
         self.counters.record_exchange_chunks(chunks);
     }
 
+    /// Records `bytes` of amplitude payload this rank sent as part of a
+    /// statevector exchange (pairwise chunked exchange or batched
+    /// permutation) — the subset of `bytes_sent` that transpiler
+    /// ablations compare.
+    pub fn record_exchange_bytes(&self, bytes: u64) {
+        self.counters.record_exchange_bytes(bytes);
+    }
+
     /// Accounts `bytes` of exchange scratch acquired (a ring slot holding
     /// an in-flight chunk), updating the peak-occupancy high-water mark.
     pub fn scratch_acquire(&self, bytes: u64) {

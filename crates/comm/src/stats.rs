@@ -18,6 +18,11 @@ pub struct TrafficCounters {
     bytes_received: AtomicU64,
     /// Chunks completed by streamed exchanges (pipeline depth observable).
     exchange_chunks: AtomicU64,
+    /// Payload bytes this rank contributed to statevector amplitude
+    /// exchanges (chunked pairwise exchanges and batched permutations).
+    /// A subset of `bytes_sent`: collectives and control traffic are
+    /// excluded, so transpiler ablations compare like with like.
+    bytes_exchanged: AtomicU64,
     /// Exchange scratch bytes currently held (ring occupancy gauge).
     inflight_bytes: AtomicU64,
     /// High-water mark of `inflight_bytes`.
@@ -48,6 +53,12 @@ impl TrafficCounters {
     /// Records `chunks` completed chunks of one streamed exchange.
     pub fn record_exchange_chunks(&self, chunks: u64) {
         self.exchange_chunks.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of amplitude payload sent as part of a statevector
+    /// exchange (pairwise chunked exchange or batched permutation).
+    pub fn record_exchange_bytes(&self, bytes: u64) {
+        self.bytes_exchanged.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Accounts `bytes` of exchange scratch acquired (a ring slot filled
@@ -86,6 +97,7 @@ impl TrafficCounters {
             messages_received: self.messages_received.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             exchange_chunks: self.exchange_chunks.load(Ordering::Relaxed),
+            bytes_exchanged: self.bytes_exchanged.load(Ordering::Relaxed),
             peak_inflight_bytes: self.peak_inflight_bytes.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
@@ -100,6 +112,7 @@ impl TrafficCounters {
         self.messages_received.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
         self.exchange_chunks.store(0, Ordering::Relaxed);
+        self.bytes_exchanged.store(0, Ordering::Relaxed);
         self.inflight_bytes.store(0, Ordering::Relaxed);
         self.peak_inflight_bytes.store(0, Ordering::Relaxed);
         self.faults_injected.store(0, Ordering::Relaxed);
@@ -121,6 +134,9 @@ pub struct TrafficStats {
     pub bytes_received: u64,
     /// Chunks completed by streamed exchanges on this rank.
     pub exchange_chunks: u64,
+    /// Amplitude payload bytes this rank sent through statevector
+    /// exchanges (a subset of `bytes_sent` that excludes collectives).
+    pub bytes_exchanged: u64,
     /// High-water mark of exchange scratch held at once (ring occupancy).
     pub peak_inflight_bytes: u64,
     /// Fault events injected on this rank (zero when faults are off).
@@ -142,6 +158,7 @@ impl TrafficStats {
             messages_received: self.messages_received + other.messages_received,
             bytes_received: self.bytes_received + other.bytes_received,
             exchange_chunks: self.exchange_chunks + other.exchange_chunks,
+            bytes_exchanged: self.bytes_exchanged + other.bytes_exchanged,
             peak_inflight_bytes: self.peak_inflight_bytes.max(other.peak_inflight_bytes),
             faults_injected: self.faults_injected + other.faults_injected,
             retries: self.retries + other.retries,
@@ -192,6 +209,7 @@ mod tests {
             messages_received: 2,
             bytes_received: 20,
             exchange_chunks: 4,
+            bytes_exchanged: 8,
             peak_inflight_bytes: 128,
             faults_injected: 2,
             retries: 1,
@@ -203,6 +221,7 @@ mod tests {
             messages_received: 4,
             bytes_received: 40,
             exchange_chunks: 6,
+            bytes_exchanged: 24,
             peak_inflight_bytes: 96,
             faults_injected: 1,
             retries: 2,
@@ -214,6 +233,7 @@ mod tests {
         assert_eq!(t.messages_received, 6);
         assert_eq!(t.bytes_received, 60);
         assert_eq!(t.exchange_chunks, 10, "chunk counts sum");
+        assert_eq!(t.bytes_exchanged, 32, "exchange payload bytes sum");
         assert_eq!(t.peak_inflight_bytes, 128, "peaks merge via max");
         assert_eq!(t.faults_injected, 3, "fault counts sum");
         assert_eq!(t.retries, 3, "retry counts sum");
@@ -246,6 +266,9 @@ mod tests {
         c.record_exchange_chunks(8);
         c.record_exchange_chunks(3);
         assert_eq!(c.snapshot().exchange_chunks, 11);
+        c.record_exchange_bytes(512);
+        c.record_exchange_bytes(256);
+        assert_eq!(c.snapshot().bytes_exchanged, 768);
         c.reset();
         assert_eq!(c.snapshot(), TrafficStats::default());
     }

@@ -1,9 +1,33 @@
 //! Unified run configuration bridging the executable engine and the model.
 
+use qse_circuit::transpile::Strategy;
 use qse_comm::chunking::{ChunkPolicy, ExchangeMode};
 use qse_comm::FaultConfig;
 use qse_machine::{CommMode, CpuFrequency, ModelConfig, NodeKind};
 use qse_statevec::DistConfig;
+
+/// Which comm-avoiding transpilation pass to run before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TranspileMode {
+    /// Execute the circuit as written (the default — existing behaviour).
+    #[default]
+    Off,
+    /// Greedy-LRU placement, batched-permutation lowering.
+    Greedy,
+    /// Lookahead-window beam search scored by the machine cost model.
+    Beam,
+}
+
+impl TranspileMode {
+    /// The transpiler strategy this mode selects, if any.
+    pub fn strategy(self) -> Option<Strategy> {
+        match self {
+            TranspileMode::Off => None,
+            TranspileMode::Greedy => Some(Strategy::Greedy),
+            TranspileMode::Beam => Some(Strategy::beam()),
+        }
+    }
+}
 
 /// One simulation setup, expressible to both the thread-cluster engine
 /// and the analytic model.
@@ -30,6 +54,9 @@ pub struct SimConfig {
     /// Seeded deterministic fault plan for thread-cluster runs, if any
     /// (`None` keeps the zero-overhead fault-free transport).
     pub faults: Option<FaultConfig>,
+    /// Comm-avoiding transpilation applied before execution (thread-
+    /// cluster runs; `Off` preserves the untranspiled gate stream).
+    pub transpile: TranspileMode,
 }
 
 impl SimConfig {
@@ -45,6 +72,7 @@ impl SimConfig {
             node_kind: NodeKind::Standard,
             frequency: CpuFrequency::Medium,
             faults: None,
+            transpile: TranspileMode::Off,
         }
     }
 
@@ -135,5 +163,14 @@ mod tests {
         assert_eq!(c.to_dist_config().min_fuse, Some(3));
         assert_eq!(c.to_model_config().fuse_diagonals, Some(3));
         assert_eq!(c.to_dist_config().chunk_policy.max_message_bytes, 256);
+    }
+
+    #[test]
+    fn transpile_defaults_off_and_maps_to_strategies() {
+        let c = SimConfig::default_for(4);
+        assert_eq!(c.transpile, TranspileMode::Off);
+        assert_eq!(TranspileMode::Off.strategy(), None);
+        assert_eq!(TranspileMode::Greedy.strategy(), Some(Strategy::Greedy));
+        assert_eq!(TranspileMode::Beam.strategy(), Some(Strategy::beam()));
     }
 }

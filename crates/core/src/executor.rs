@@ -2,15 +2,30 @@
 
 use crate::config::SimConfig;
 use crate::profile::{ClassProfile, ProfiledRun};
-use qse_circuit::classify::{classify, Layout};
+use qse_circuit::classify::{classify, GateClass, Layout};
+use qse_circuit::transpile::{comm_avoid, Plan, PlanStep};
 use qse_circuit::Circuit;
 use qse_comm::{CommError, Universe};
 use qse_machine::archer2::Machine;
 use qse_machine::perf::RunEstimate;
+use qse_machine::{archer2, ModelOracle};
 use qse_math::Complex64;
 use qse_statevec::storage::SoaStorage;
 use qse_statevec::{DistributedState, SingleState};
 use std::time::Instant;
+
+/// Builds the comm-avoiding execution plan `config.transpile` selects for
+/// `circuit`, with the final layout restored — `None` when transpilation
+/// is off. Candidate placements are scored by the calibrated ARCHER2
+/// model acting as the pass's exchange-cost oracle, so the CLI can price
+/// the same plan the executor runs.
+pub fn comm_avoid_plan(circuit: &Circuit, config: &SimConfig) -> Option<Plan> {
+    let strategy = config.transpile.strategy()?;
+    let layout = Layout::new(circuit.n_qubits(), config.n_ranks);
+    let machine = archer2();
+    let oracle = ModelOracle::new(&machine, config.to_model_config());
+    Some(comm_avoid(circuit, &layout, strategy, &oracle).with_layout_restored())
+}
 
 /// Runs circuits in one address space with the production kernels.
 pub struct LocalExecutor;
@@ -77,6 +92,9 @@ impl ThreadClusterExecutor {
             .map(|g| classify(g, &layout))
             .collect();
 
+        let plan = comm_avoid_plan(circuit, config);
+        let step_count = plan.as_ref().map_or(circuit.len(), |p| p.steps.len());
+
         let universe = match config.faults {
             Some(fc) => Universe::with_faults(n_ranks, fc)?,
             None => Universe::new(n_ranks),
@@ -87,10 +105,33 @@ impl ThreadClusterExecutor {
             st.barrier();
             let t0 = Instant::now();
             let mut profile = ClassProfile::default();
-            for (gate, &class) in circuit.gates().iter().zip(&classes) {
-                let g0 = Instant::now();
-                st.apply(gate)?;
-                profile.record(class, g0.elapsed());
+            match &plan {
+                None => {
+                    for (gate, &class) in circuit.gates().iter().zip(&classes) {
+                        let g0 = Instant::now();
+                        st.apply(gate)?;
+                        profile.record(class, g0.elapsed());
+                    }
+                }
+                Some(plan) => {
+                    // Transpiled path: gates are all local by construction;
+                    // batched permutes carry the communication and land in
+                    // the distributed bucket.
+                    for step in &plan.steps {
+                        let g0 = Instant::now();
+                        let class = match step {
+                            PlanStep::Gate(g) => {
+                                st.apply(g)?;
+                                classify(g, &layout)
+                            }
+                            PlanStep::Permute(p) => {
+                                st.apply_global_permutation(p)?;
+                                GateClass::Distributed
+                            }
+                        };
+                        profile.record(class, g0.elapsed());
+                    }
+                }
             }
             st.barrier();
             let wall = t0.elapsed().as_secs_f64();
@@ -104,6 +145,7 @@ impl ThreadClusterExecutor {
         }
 
         let total_bytes: u64 = results.iter().map(|(_, _, s, _)| s.bytes_sent).sum();
+        let total_exchanged: u64 = results.iter().map(|(_, _, s, _)| s.bytes_exchanged).sum();
         let total_msgs: u64 = results.iter().map(|(_, _, s, _)| s.messages_sent).sum();
         let total_chunks: u64 = results.iter().map(|(_, _, s, _)| s.exchange_chunks).sum();
         let peak_inflight: u64 = results
@@ -128,10 +170,11 @@ impl ThreadClusterExecutor {
                 wall_s: *wall,
                 profile: *profile,
                 bytes_sent: total_bytes,
+                bytes_exchanged: total_exchanged,
                 messages_sent: total_msgs,
                 exchange_chunks: total_chunks,
                 peak_inflight_bytes: peak_inflight,
-                gate_count: circuit.len(),
+                gate_count: step_count,
                 faults_injected,
                 retries,
                 corruptions_detected: corruptions,
@@ -255,6 +298,40 @@ mod tests {
         assert!(est.runtime_s > 0.0);
         assert!(est.total_energy_j() > 0.0);
         assert_eq!(est.n_nodes, 64);
+    }
+
+    #[test]
+    fn transpiled_cluster_run_matches_reference() {
+        let c = qft(8);
+        let mut want = ReferenceState::basis_state(8, 5);
+        want.run(&c);
+        for mode in [crate::config::TranspileMode::Greedy, crate::config::TranspileMode::Beam] {
+            let mut cfg = SimConfig::default_for(4);
+            cfg.transpile = mode;
+            let run = ThreadClusterExecutor::run(&c, &cfg, 5, true);
+            assert_slices_close(&run.state.unwrap(), want.amplitudes(), 1e-9);
+            // gate_count reflects plan steps, not source gates
+            let plan = comm_avoid_plan(&c, &cfg).unwrap();
+            assert_eq!(run.profiled.gate_count, plan.steps.len());
+        }
+    }
+
+    #[test]
+    fn transpiled_cluster_run_exchanges_fewer_bytes() {
+        let c = qft(12);
+        let off = ThreadClusterExecutor::run(&c, &SimConfig::default_for(4), 0, false);
+        assert!(off.profiled.bytes_exchanged > 0);
+        for mode in [crate::config::TranspileMode::Greedy, crate::config::TranspileMode::Beam] {
+            let mut cfg = SimConfig::default_for(4);
+            cfg.transpile = mode;
+            let on = ThreadClusterExecutor::run(&c, &cfg, 0, false);
+            assert!(
+                on.profiled.bytes_exchanged < off.profiled.bytes_exchanged,
+                "{mode:?}: {} !< {}",
+                on.profiled.bytes_exchanged,
+                off.profiled.bytes_exchanged
+            );
+        }
     }
 
     #[test]

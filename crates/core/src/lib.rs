@@ -22,6 +22,6 @@ pub mod profile;
 pub mod scaling;
 pub mod sweep;
 
-pub use config::SimConfig;
-pub use executor::{LocalExecutor, ModelExecutor, ThreadClusterExecutor};
+pub use config::{SimConfig, TranspileMode};
+pub use executor::{comm_avoid_plan, LocalExecutor, ModelExecutor, ThreadClusterExecutor};
 pub use profile::{ClassProfile, ProfiledRun};

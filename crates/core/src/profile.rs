@@ -70,6 +70,10 @@ pub struct ProfiledRun {
     pub profile: ClassProfile,
     /// Total bytes sent across all ranks.
     pub bytes_sent: u64,
+    /// Amplitude payload bytes sent through statevector exchanges across
+    /// all ranks — the subset of `bytes_sent` the comm-avoiding
+    /// transpiler minimises (collectives and control traffic excluded).
+    pub bytes_exchanged: u64,
     /// Total messages sent across all ranks.
     pub messages_sent: u64,
     /// Exchange chunks completed across all ranks (streamed exchanges
@@ -104,6 +108,7 @@ impl ToJson for ProfiledRun {
             ("wall_s", self.wall_s.to_json()),
             ("profile", self.profile.to_json()),
             ("bytes_sent", self.bytes_sent.to_json()),
+            ("bytes_exchanged", self.bytes_exchanged.to_json()),
             ("messages_sent", self.messages_sent.to_json()),
             ("exchange_chunks", self.exchange_chunks.to_json()),
             ("peak_inflight_bytes", self.peak_inflight_bytes.to_json()),

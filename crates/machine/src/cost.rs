@@ -1,7 +1,10 @@
 //! Cost-model types shared across the machine crate.
 
+use crate::archer2::Machine;
 use crate::frequency::CpuFrequency;
 use crate::node::NodeKind;
+use crate::power::Phase;
+use qse_circuit::transpile::{ExchangeOracle, PermTraffic, StepCost};
 
 /// Communication strategy, mirroring the executable engine's
 /// `qse_comm::chunking::ExchangeMode` (kept separate so the model crate
@@ -96,9 +99,59 @@ impl GateCost {
     }
 }
 
+/// The calibrated machine model exposed as a transpiler-facing
+/// [`ExchangeOracle`]: the comm-avoiding pass asks it to price candidate
+/// batched exchanges, turning the model crate into a *compile-time*
+/// oracle rather than a post-hoc reporting tool.
+///
+/// One exchange step is billed as: wall-clock from the busiest rank's
+/// payload through the calibrated [`crate::network::NetworkSpec`] (every
+/// rank waits on the slowest), all nodes drawing communication-phase
+/// power for that duration, plus the paper's switch energy
+/// `E_net = n_s · P̄_s · Δt`.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelOracle<'a> {
+    machine: &'a Machine,
+    config: ModelConfig,
+}
+
+impl<'a> ModelOracle<'a> {
+    /// Builds an oracle for one job submission on `machine`.
+    pub fn new(machine: &'a Machine, config: ModelConfig) -> Self {
+        ModelOracle { machine, config }
+    }
+}
+
+impl ExchangeOracle for ModelOracle<'_> {
+    fn exchange(&self, traffic: PermTraffic) -> StepCost {
+        if traffic.total_bytes == 0 {
+            return StepCost::default();
+        }
+        let seconds = self
+            .machine
+            .network
+            .exchange_time_s(traffic.max_rank_bytes, self.config.comm_mode);
+        let node_j = self.machine.power.node_energy_j(
+            Phase::Comm,
+            self.config.frequency,
+            seconds,
+        ) * self.config.n_nodes as f64;
+        let switch_j = self
+            .machine
+            .network
+            .switch_energy_j(self.config.n_nodes, seconds);
+        StepCost {
+            bytes: traffic.total_bytes,
+            seconds,
+            joules: node_j + switch_j,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::archer2::archer2;
 
     #[test]
     fn default_config_matches_archer2_defaults() {
@@ -136,5 +189,40 @@ mod tests {
         });
         assert_eq!(a.total_s(), 7.5);
         assert_eq!(a.comm_bytes, 15);
+    }
+
+    #[test]
+    fn model_oracle_prices_traffic_monotonically() {
+        let machine = archer2();
+        let oracle = ModelOracle::new(&machine, ModelConfig::default_for(4));
+        let zero = oracle.exchange(PermTraffic::default());
+        assert_eq!(zero, StepCost::default());
+        let small = oracle.exchange(PermTraffic {
+            total_bytes: 1 << 20,
+            max_rank_bytes: 1 << 18,
+        });
+        let large = oracle.exchange(PermTraffic {
+            total_bytes: 1 << 24,
+            max_rank_bytes: 1 << 22,
+        });
+        assert!(small.seconds > 0.0 && small.joules > 0.0);
+        assert!(small.better_than(&large));
+        assert!(large.seconds > small.seconds);
+        assert!(large.joules > small.joules);
+    }
+
+    #[test]
+    fn model_oracle_nonblocking_is_faster() {
+        let machine = archer2();
+        let traffic = PermTraffic {
+            total_bytes: 1 << 28,
+            max_rank_bytes: 1 << 26,
+        };
+        let blocking =
+            ModelOracle::new(&machine, ModelConfig::default_for(4)).exchange(traffic);
+        let fast =
+            ModelOracle::new(&machine, ModelConfig::fast_for(4)).exchange(traffic);
+        assert!(fast.seconds < blocking.seconds, "calibrated bandwidths differ");
+        assert_eq!(fast.bytes, blocking.bytes, "bytes are mode-independent");
     }
 }

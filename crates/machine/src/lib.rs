@@ -34,7 +34,7 @@ pub mod trace;
 pub mod variants;
 
 pub use archer2::archer2;
-pub use cost::{CommMode, GateCost, ModelConfig};
+pub use cost::{CommMode, GateCost, ModelConfig, ModelOracle};
 pub use energy::EnergyBreakdown;
 pub use frequency::CpuFrequency;
 pub use node::{NodeKind, NodeSpec};

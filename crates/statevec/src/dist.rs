@@ -21,8 +21,9 @@ use crate::single::DEFAULT_MIN_FUSE;
 use crate::storage::{init_basis, AmpStorage, SoaStorage};
 use qse_circuit::classify::{classify, GateClass, Layout};
 use qse_circuit::transpile::fusion::{fused_schedule, ScheduleStep};
-use qse_circuit::{Circuit, Gate};
-use qse_comm::chunking::{exchange, ChunkPolicy, ExchangeMode, StreamedExchange};
+use qse_circuit::transpile::{Plan, PlanStep};
+use qse_circuit::{Circuit, Gate, Permutation};
+use qse_comm::chunking::{chunk_tag, exchange, ChunkPolicy, ExchangeMode, StreamedExchange};
 use qse_comm::collective;
 use qse_comm::message::{bytes_to_f64s, bytes_to_f64s_into, f64s_to_bytes, f64s_to_bytes_into};
 use qse_comm::Result as CommResult;
@@ -521,6 +522,167 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                     }
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Applies an index-bit permutation to the whole distributed state as
+    /// *one* batched global exchange: afterwards the amplitude that lived
+    /// at global index `i` lives at `perm.permute_index(i)`.
+    ///
+    /// This is the lowering target of the comm-avoiding transpiler's
+    /// `Permute` steps. Where the gate engine realises a k-transposition
+    /// layout change as k pairwise exchanges (each shipping the full
+    /// local slice), this routine moves every amplitude exactly once:
+    ///
+    /// * a permutation fixing all global positions is a pure in-memory
+    ///   reorder — zero bytes on the wire;
+    /// * otherwise each rank packs, per destination rank, exactly the
+    ///   amplitudes that end up there, eagerly sends all peer blocks
+    ///   (chunked under the message-size cap), keeps its stay-put block
+    ///   locally, then receives and scatters each source block. A rank's
+    ///   payload is `(1 − 2⁻ᵐ)` of its slice for a permutation pulling
+    ///   `m` local bits into the rank address — batching k swap-ins costs
+    ///   `1 − 2⁻ᵏ` of the slice instead of k full-slice exchanges.
+    ///
+    /// Wire order is sender-driven and deterministic: block `u → v` lists
+    /// amplitudes by ascending *source* index, which the receiver
+    /// reconstructs by scanning the sender's index space with the same
+    /// permutation. Eager sends keep the all-to-all deadlock-free.
+    pub fn apply_global_permutation(&mut self, perm: &Permutation) -> CommResult<()> {
+        assert_eq!(
+            perm.len(),
+            self.layout.n_qubits(),
+            "permutation width mismatch"
+        );
+        if perm.is_identity() {
+            return Ok(());
+        }
+        let l = self.layout.local_qubits();
+        let n = self.layout.n_qubits();
+        if (l..n).all(|p| perm.apply(p) == p) {
+            // Purely local: `as_transpositions` factors p = T1∘…∘Tk with
+            // the state map of "apply Tk first, T1 last" equal to Π(p).
+            for &(a, b) in perm.as_transpositions().iter().rev() {
+                self.amps.swap_local(a, b);
+            }
+            return Ok(());
+        }
+
+        let tag = self.next_tag();
+        let ranks = self.layout.n_ranks() as usize;
+        let local_amps = self.layout.local_amps();
+        let mask = local_amps - 1;
+        let me = self.rank() as u64;
+
+        // Pack per-destination blocks in ascending source order; stay-put
+        // amplitudes scatter straight into the staging vector.
+        let mut staging = std::mem::take(&mut self.recv_f64);
+        staging.resize(2 * local_amps as usize, 0.0);
+        let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); ranks];
+        for sl in 0..local_amps {
+            let d = perm.permute_index((me << l) | sl);
+            let amp = self.amps.get(sl as usize);
+            let v = (d >> l) as usize;
+            if v as u64 == me {
+                let dl = (d & mask) as usize;
+                staging[2 * dl] = amp.re;
+                staging[2 * dl + 1] = amp.im;
+            } else {
+                blocks[v].push(amp.re);
+                blocks[v].push(amp.im);
+            }
+        }
+
+        // Eager sends to every peer first (ascending, chunked): the
+        // mailbox transport buffers them, so no receive can deadlock.
+        let mut sent_bytes = 0u64;
+        for v in 0..ranks {
+            if v as u64 == me || blocks[v].is_empty() {
+                continue;
+            }
+            f64s_to_bytes_into(&blocks[v], &mut self.send_bytes);
+            sent_bytes += self.send_bytes.len() as u64;
+            for (idx, range) in self
+                .config
+                .chunk_policy
+                .ranges(self.send_bytes.len())
+                .enumerate()
+            {
+                self.comm.send(v, chunk_tag(tag, idx), &self.send_bytes[range])?;
+            }
+        }
+        if sent_bytes > 0 {
+            self.comm.record_exchange_bytes(sent_bytes);
+        }
+
+        // Receive each source block and scatter it. The sender listed its
+        // amplitudes by ascending source index, so replaying the sender's
+        // scan yields each payload's destination sequence.
+        for w in 0..ranks as u64 {
+            if w == me {
+                continue;
+            }
+            let mut dests: Vec<usize> = Vec::new();
+            for sl in 0..local_amps {
+                let d = perm.permute_index((w << l) | sl);
+                if d >> l == me {
+                    dests.push((d & mask) as usize);
+                }
+            }
+            if dests.is_empty() {
+                continue;
+            }
+            let total = dests.len() * 16;
+            let mut filled = 0usize;
+            for (idx, range) in self.config.chunk_policy.ranges(total).enumerate() {
+                let payload = self.comm.recv(w as usize, chunk_tag(tag, idx))?;
+                debug_assert_eq!(payload.len(), range.len(), "chunk length");
+                let buf = &mut self.recv_ring[0];
+                buf.resize(payload.len() / 8, 0.0);
+                bytes_to_f64s_into(&payload, buf);
+                for (k, pair) in buf.chunks_exact(2).enumerate() {
+                    let dl = dests[filled + k];
+                    staging[2 * dl] = pair[0];
+                    staging[2 * dl + 1] = pair[1];
+                }
+                filled += payload.len() / 16;
+            }
+            debug_assert_eq!(filled, dests.len(), "whole block consumed");
+        }
+
+        self.amps.copy_from_f64(&staging);
+        self.release_recv(staging);
+        Ok(())
+    }
+
+    /// Runs a comm-avoiding [`Plan`]: gate runs execute through
+    /// [`Self::run`] (so diagonal fusion still applies within each
+    /// segment) and `Permute` steps lower to
+    /// [`Self::apply_global_permutation`].
+    pub fn run_plan(&mut self, plan: &Plan) -> CommResult<()> {
+        assert_eq!(
+            plan.n_qubits(),
+            self.layout.n_qubits(),
+            "width mismatch"
+        );
+        let mut pending = Circuit::new(plan.n_qubits());
+        for step in &plan.steps {
+            match step {
+                PlanStep::Gate(g) => {
+                    pending.push(g.clone());
+                }
+                PlanStep::Permute(p) => {
+                    if !pending.is_empty() {
+                        self.run(&pending)?;
+                        pending = Circuit::new(plan.n_qubits());
+                    }
+                    self.apply_global_permutation(p)?;
+                }
+            }
+        }
+        if !pending.is_empty() {
+            self.run(&pending)?;
         }
         Ok(())
     }
@@ -1094,6 +1256,149 @@ mod tests {
         for e in errs {
             assert_eq!(e, CommError::ImpossibleOutcome { qubit: 3, bit: 1 });
         }
+    }
+
+    #[test]
+    fn global_permutation_matches_index_map() {
+        // Π(p) on the distributed state: gathered[p.permute_index(i)]
+        // equals the pre-permutation amplitude at i — for local-only,
+        // single swap-in, batched and rank-rotating permutations, across
+        // rank counts and chunk sizes.
+        let n = 6u32;
+        let prep = random_circuit(n, 40, GatePool::Full, 12);
+        let maps: Vec<Vec<u32>> = vec![
+            vec![1, 0, 3, 2, 4, 5],  // purely local
+            vec![5, 1, 2, 3, 4, 0],  // one local<->global transposition
+            vec![4, 5, 2, 3, 0, 1],  // batched double swap-in
+            vec![0, 1, 2, 3, 5, 4],  // global<->global
+            vec![5, 4, 3, 2, 1, 0],  // full reversal
+            vec![1, 2, 3, 4, 5, 0],  // full-register cycle
+        ];
+        for ranks in [1usize, 2, 4, 8] {
+            for map in &maps {
+                let perm = Permutation::from_map(map.clone());
+                for max_bytes in [1usize << 20, 64] {
+                    let config = DistConfig {
+                        chunk_policy: ChunkPolicy::new(max_bytes).unwrap(),
+                        ..DistConfig::default()
+                    };
+                    let out = Universe::new(ranks).run(|comm| {
+                        let mut st: DistributedState<SoaStorage> =
+                            DistributedState::basis_state(comm, n, 0, config);
+                        st.run(&prep).unwrap();
+                        let before = st.gather().unwrap();
+                        st.apply_global_permutation(&perm).unwrap();
+                        (before, st.gather().unwrap())
+                    });
+                    let (before, after) = out.into_iter().next().unwrap();
+                    let (Some(before), Some(after)) = (before, after) else {
+                        continue; // only rank 0 gathers
+                    };
+                    for (i, &amp) in before.iter().enumerate() {
+                        let j = perm.permute_index(i as u64) as usize;
+                        assert_eq!(
+                            amp.re.to_bits(),
+                            after[j].re.to_bits(),
+                            "R={ranks} map={map:?} index {i}"
+                        );
+                        assert_eq!(amp.im.to_bits(), after[j].im.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_permutation_traffic_matches_model() {
+        // Measured bytes_exchanged equals the transpiler's static
+        // `permutation_traffic` prediction, per rank and in total.
+        use qse_circuit::transpile::permutation_traffic;
+        let n = 6u32;
+        let ranks = 8usize;
+        let layout = Layout::new(n, ranks as u64);
+        let maps: Vec<Vec<u32>> = vec![
+            vec![1, 0, 2, 3, 4, 5],  // local: zero traffic
+            vec![5, 1, 2, 3, 4, 0],  // single swap-in: half slices
+            vec![4, 5, 2, 3, 0, 1],  // double swap-in: 3/4 slices
+            vec![0, 1, 2, 3, 5, 4],  // global<->global: differing-bit ranks
+        ];
+        for map in maps {
+            let perm = Permutation::from_map(map);
+            let want = permutation_traffic(&perm, &layout);
+            let stats = Universe::new(ranks).run(|comm| {
+                let mut st: DistributedState<SoaStorage> =
+                    DistributedState::zero_state(comm, n, DistConfig::default());
+                st.run(&random_circuit(n, 10, GatePool::Full, 3)).unwrap();
+                st.barrier();
+                st.comm.reset_stats();
+                st.apply_global_permutation(&perm).unwrap();
+                st.barrier();
+                st.stats().bytes_exchanged
+            });
+            assert_eq!(stats.iter().sum::<u64>(), want.total_bytes, "{perm:?}");
+            assert_eq!(
+                stats.iter().copied().max().unwrap(),
+                want.max_rank_bytes,
+                "{perm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_plan_with_restored_layout_matches_reference() {
+        use qse_circuit::transpile::{comm_avoid, ByteOracle, Strategy};
+        let n = 7u32;
+        for ranks in [4usize, 8] {
+            let layout = Layout::new(n, ranks as u64);
+            for seed in 0..3u64 {
+                let c = random_circuit(n, 60, GatePool::Full, seed + 200);
+                let want = reference(&c, 1);
+                for strategy in [Strategy::Greedy, Strategy::beam()] {
+                    let plan = comm_avoid(&c, &layout, strategy, &ByteOracle)
+                        .with_layout_restored();
+                    let out = Universe::new(ranks).run(|comm| {
+                        let mut st: DistributedState<SoaStorage> =
+                            DistributedState::basis_state(comm, n, 1, DistConfig::default());
+                        st.run_plan(&plan).unwrap();
+                        st.gather().unwrap()
+                    });
+                    let got = out.into_iter().flatten().next().unwrap();
+                    assert_slices_close(&got, &want, 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpiled_restore_plan_costs_one_exchange() {
+        // The with_layout_restored bugfix: restoring a k-transposition
+        // layout is one batched exchange, not k pairwise ones.
+        let n = 6u32;
+        let ranks = 4usize;
+        let mut c = Circuit::new(n);
+        c.swap(0, 5).swap(1, 4).h(2); // leaves a 2-transposition layout
+        let t = cache_block(&c, Layout::new(n, ranks as u64).local_qubits());
+        let plan = t.with_layout_restored();
+        assert_eq!(plan.permute_count(), 1);
+        let want = reference(&c, 2);
+        let out = Universe::new(ranks).run(|comm| {
+            let mut st: DistributedState<SoaStorage> =
+                DistributedState::basis_state(comm, n, 2, DistConfig::default());
+            st.run_plan(&plan).unwrap();
+            st.barrier();
+            (st.stats().bytes_exchanged, st.gather().unwrap())
+        });
+        let mut exchanged = 0u64;
+        let mut state = None;
+        for (b, s) in out {
+            exchanged += b;
+            state = state.or(s);
+        }
+        assert_slices_close(&state.unwrap(), &want, 1e-9);
+        // Batched: each rank ships 3/4 of its slice once (two rank bits
+        // mixed) — strictly less than two full pairwise exchanges.
+        let slice = Layout::new(n, ranks as u64).local_amps() * 16;
+        assert_eq!(exchanged, ranks as u64 * slice / 4 * 3);
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub mod prelude {
     pub use qse_circuit::transpile::cache_blocking::cache_block;
     pub use qse_circuit::{Circuit, Gate};
     pub use qse_comm::Universe;
-    pub use qse_core::{LocalExecutor, ModelExecutor, SimConfig, ThreadClusterExecutor};
+    pub use qse_core::{
+        LocalExecutor, ModelExecutor, SimConfig, ThreadClusterExecutor, TranspileMode,
+    };
     pub use qse_machine::{archer2, CpuFrequency, ModelConfig, NodeKind};
     pub use qse_math::Complex64;
     pub use qse_statevec::{DistConfig, DistributedState, SingleState};
