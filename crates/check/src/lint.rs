@@ -1,7 +1,7 @@
 //! A source lint pass for the repo's own conventions.
 //!
 //! A deliberately small line/token scanner — no parser dependency —
-//! enforcing four rules that the type system cannot:
+//! enforcing six rules that the type system cannot:
 //!
 //! * **R1 `PanicInLib`** — no `.unwrap()`, `.expect(`, or `panic!` in
 //!   non-test library code of `qse-comm`, `qse-statevec`, and
@@ -22,6 +22,19 @@
 //!   and must surface as typed `MeasureError` values — an `assert!` is
 //!   error handling in disguise. (`debug_assert!` remains allowed:
 //!   true internal invariants may still self-check in debug builds.)
+//! * **R5 `UnsafeWithoutSafety`** — every `unsafe` keyword in the SIMD
+//!   storage kernels (`qse-statevec/src/storage/{soa,aos}.rs`) and the
+//!   thread-pool (`qse-util/src/parallel.rs`) must be justified by a
+//!   `SAFETY:` comment on the same line or in the contiguous
+//!   comment/attribute block directly above it. These are the only
+//!   files in the tree allowed to contain `unsafe` at all; each use
+//!   must say why it is sound.
+//! * **R6 `TruncatingCast`** — no `as usize` / `as u32` casts in the
+//!   index arithmetic of `qse-comm` and `qse-statevec` library code:
+//!   on a 32-bit host a silent `u64 → usize` truncation turns an
+//!   amplitude index into a wrong-but-valid one. Convert with
+//!   `try_into()`/`u64::from`, route through an audited helper, or
+//!   carry a documented `// qse-lint: allow`.
 //!
 //! The scanner strips `//` comments, `/* */` blocks, and string/char
 //! literals before matching, and skips `#[cfg(test)]` regions by brace
@@ -41,6 +54,11 @@ pub enum Rule {
     UndocumentedPub,
     /// `assert!` used as error handling in statevec measure paths.
     AssertInMeasure,
+    /// `unsafe` without an adjacent `SAFETY:` comment in the files that
+    /// are allowed to contain `unsafe`.
+    UnsafeWithoutSafety,
+    /// Potentially truncating `as usize` / `as u32` in index arithmetic.
+    TruncatingCast,
 }
 
 impl Rule {
@@ -51,6 +69,8 @@ impl Rule {
             Rule::InstantInMachine => "instant-in-machine",
             Rule::UndocumentedPub => "undocumented-pub",
             Rule::AssertInMeasure => "assert-in-measure",
+            Rule::UnsafeWithoutSafety => "unsafe-without-safety",
+            Rule::TruncatingCast => "truncating-cast",
         }
     }
 }
@@ -210,6 +230,32 @@ fn invokes_hard_assert(stripped: &str) -> bool {
     false
 }
 
+/// The only files in the tree permitted to contain `unsafe` at all;
+/// R5 requires every use in them to carry a `SAFETY:` justification.
+const UNSAFE_FILES: [&str; 3] = [
+    "crates/statevec/src/storage/soa.rs",
+    "crates/statevec/src/storage/aos.rs",
+    "crates/util/src/parallel.rs",
+];
+
+/// Does the stripped line contain `needle` not embedded in a longer
+/// identifier on either side?
+fn contains_token(stripped: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(needle) {
+        let at = from + pos;
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let before_ok = at == 0 || !ident(stripped.as_bytes()[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= stripped.len() || !ident(stripped.as_bytes()[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
 /// Lints one file's contents. `relpath` is workspace-relative with `/`
 /// separators (e.g. `crates/comm/src/universe.rs`); it decides which
 /// rules apply.
@@ -221,7 +267,9 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
     let check_instant = crate_name == "machine";
     let check_docs = crate_name == "comm";
     let check_measure_asserts = crate_name == "statevec" && relpath.ends_with("/measure.rs");
-    if !(check_panics || check_instant || check_docs) {
+    let check_unsafe = UNSAFE_FILES.contains(&relpath);
+    let check_casts = matches!(crate_name, "comm" | "statevec");
+    if !(check_panics || check_instant || check_docs || check_unsafe || check_casts) {
         return Vec::new();
     }
 
@@ -234,6 +282,9 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
     let mut test_region_floor: Option<i64> = None;
     // R3 state: a doc comment (or doc + attributes) directly above.
     let mut doc_pending = false;
+    // R5 state: a `SAFETY:` comment in the contiguous comment/attribute
+    // block directly above.
+    let mut safety_pending = false;
     let mut prev_raw: Option<&str> = None;
 
     for (idx, raw) in content.lines().enumerate() {
@@ -250,6 +301,11 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
             // Attributes between the doc comment and the item keep it.
         } else if !stripped.trim().is_empty() {
             // consumed below by the pub fn check, then cleared
+        }
+        // R5: a `SAFETY:` comment anywhere in the contiguous comment
+        // block above an `unsafe` justifies it.
+        if trimmed_raw.starts_with("//") && trimmed_raw.contains("SAFETY:") {
+            safety_pending = true;
         }
 
         if stripped.contains("#[cfg(test)]") || stripped.contains("#[cfg(all(test") {
@@ -300,6 +356,36 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
                         .to_string(),
                 });
             }
+            if check_unsafe
+                && contains_token(&stripped, "unsafe")
+                && !safety_pending
+                && !raw.contains("SAFETY:")
+            {
+                violations.push(Violation {
+                    file: relpath.to_string(),
+                    line: line_no,
+                    rule: Rule::UnsafeWithoutSafety,
+                    message: "`unsafe` without a `SAFETY:` comment on the same line or \
+                              directly above; say why this use is sound"
+                        .to_string(),
+                });
+            }
+            if check_casts {
+                for needle in ["as usize", "as u32"] {
+                    if contains_token(&stripped, needle) {
+                        violations.push(Violation {
+                            file: relpath.to_string(),
+                            line: line_no,
+                            rule: Rule::TruncatingCast,
+                            message: format!(
+                                "`{needle}` may truncate on a 32-bit host; use \
+                                 `try_into()`, an audited helper, or \
+                                 `// qse-lint: allow` with justification"
+                            ),
+                        });
+                    }
+                }
+            }
             if check_docs && declares_pub_fn(&stripped) && !doc_pending {
                 violations.push(Violation {
                     file: relpath.to_string(),
@@ -310,13 +396,14 @@ pub fn lint_file(relpath: &str, content: &str) -> Vec<Violation> {
             }
         }
 
-        // Clear doc adjacency on any substantive non-attribute line.
+        // Clear doc/safety adjacency on any substantive non-attribute line.
         if !trimmed_raw.starts_with("///")
             && !trimmed_raw.starts_with("#[")
             && !trimmed_raw.starts_with("#![")
             && !stripped.trim().is_empty()
         {
             doc_pending = false;
+            safety_pending = false;
         }
 
         // Brace accounting (on stripped text, so braces in strings and
@@ -542,6 +629,67 @@ mod tests {
         assert!(lint_file("crates/statevec/src/measure.rs", src).is_empty());
         let src = "fn f() {\n    assert!(invariant) // qse-lint: allow — structural invariant\n}\n";
         assert!(lint_file("crates/statevec/src/measure.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = lint_file("crates/util/src/parallel.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnsafeWithoutSafety);
+        assert_eq!(v[0].line, 2);
+        // The same code outside the unsafe-permitted files is not R5's
+        // concern (nothing else should contain `unsafe` at all).
+        assert!(lint_file("crates/util/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_justifies_unsafe_same_line_or_block_above() {
+        let src = "fn f(p: *const u8) -> u8 {\n    \
+                   unsafe { *p } // SAFETY: caller pins p\n}\n";
+        assert!(lint_file("crates/util/src/parallel.rs", src).is_empty());
+        let src = "// SAFETY: callers must have verified CPU support.\n\
+                   // (And more prose continuing the same block.)\nunsafe fn g() {}\n";
+        assert!(lint_file("crates/statevec/src/storage/soa.rs", src).is_empty());
+        // A doc block whose SAFETY line is not the last line still counts.
+        let src = "/// SAFETY: callers pin the pointee.\n/// More docs.\n\
+                   #[inline]\nunsafe fn g() {}\n";
+        assert!(lint_file("crates/statevec/src/storage/aos.rs", src).is_empty());
+        // Substantive code between the comment and the `unsafe` breaks
+        // the adjacency: the second use needs its own justification.
+        let src = "// SAFETY: only for the first impl.\nunsafe impl Send for X {}\n\
+                   unsafe impl Sync for X {}\n";
+        let v = lint_file("crates/util/src/parallel.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn truncating_casts_flagged_in_comm_and_statevec() {
+        let src = "fn f(i: u64) -> usize {\n    i as usize\n}\n";
+        for rel in ["crates/comm/src/fake.rs", "crates/statevec/src/fake.rs"] {
+            let v = lint_file(rel, src);
+            assert_eq!(v.len(), 1, "{rel}");
+            assert_eq!(v[0].rule, Rule::TruncatingCast);
+            assert_eq!(v[0].line, 2);
+        }
+        let src = "fn f(i: u64) -> u32 { i as u32 }\n";
+        assert_eq!(lint_file("crates/comm/src/fake.rs", src).len(), 1);
+        // Widening casts and other crates stay untouched.
+        assert!(lint_file("crates/comm/src/fake.rs", "fn f(i: u32) -> u64 { i as u64 }\n").is_empty());
+        assert!(lint_file("crates/machine/src/fake.rs", "fn f(i: u64) -> usize { i as usize }\n").is_empty());
+    }
+
+    #[test]
+    fn truncating_casts_exempt_in_tests_and_with_allow_marker() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(i: u64) -> usize {\n        \
+                   i as usize\n    }\n}\n";
+        assert!(lint_file("crates/statevec/src/fake.rs", src).is_empty());
+        let src = "fn f(i: u64) -> usize {\n    i as usize // qse-lint: allow — bounded above\n}\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
+        // Identifiers merely containing the pattern are not casts.
+        let src = "fn f(has_usize: bool) -> bool { has_usize }\n";
+        assert!(lint_file("crates/comm/src/fake.rs", src).is_empty());
     }
 
     #[test]

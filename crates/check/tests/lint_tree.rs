@@ -42,6 +42,54 @@ fn the_linter_bites_on_a_seeded_unwrap() {
 }
 
 #[test]
+fn the_linter_bites_on_a_seeded_uncommented_unsafe() {
+    // R5 guard: each real unsafe-bearing file must be clean today, and an
+    // `unsafe` seeded without a SAFETY comment must be caught in each.
+    let root = workspace_root();
+    for rel in [
+        "crates/statevec/src/storage/soa.rs",
+        "crates/statevec/src/storage/aos.rs",
+        "crates/util/src/parallel.rs",
+    ] {
+        let content = std::fs::read_to_string(root.join(rel)).expect("readable");
+        assert!(
+            qse_check::lint_file(rel, &content).is_empty(),
+            "baseline {rel} must be clean"
+        );
+        let seeded =
+            format!("{content}\nfn seeded(p: *const u8) -> u8 {{\n    unsafe {{ *p }}\n}}\n");
+        let v = qse_check::lint_file(rel, &seeded);
+        assert_eq!(v.len(), 1, "{rel}: {v:?}");
+        assert_eq!(v[0].rule, qse_check::Rule::UnsafeWithoutSafety, "{rel}");
+    }
+}
+
+#[test]
+fn the_linter_bites_on_a_seeded_truncating_cast() {
+    // R6 guard: comm and statevec library files must be cast-clean, and
+    // a seeded `u64 → usize` index cast must be caught.
+    let root = workspace_root();
+    for rel in ["crates/comm/src/universe.rs", "crates/statevec/src/dist.rs"] {
+        let content = std::fs::read_to_string(root.join(rel)).expect("readable");
+        assert!(
+            qse_check::lint_file(rel, &content).is_empty(),
+            "baseline {rel} must be clean"
+        );
+        let seeded = format!("{content}\nfn seeded(i: u64) -> usize {{\n    i as usize\n}}\n");
+        let v = qse_check::lint_file(rel, &seeded);
+        assert_eq!(v.len(), 1, "{rel}: {v:?}");
+        assert_eq!(v[0].rule, qse_check::Rule::TruncatingCast, "{rel}");
+    }
+    // And an `as u32` in comm is equally caught.
+    let v = qse_check::lint_file(
+        "crates/comm/src/faults.rs",
+        "fn seeded(i: u64) -> u32 { i as u32 }\n",
+    );
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, qse_check::Rule::TruncatingCast);
+}
+
+#[test]
 fn the_linter_bites_on_a_seeded_measure_assert() {
     // Same guard for R4: the real measure.rs must be clean, and an
     // `assert!`-as-error-handling seeded into it must be caught. This is

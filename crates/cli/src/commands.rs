@@ -61,9 +61,14 @@ pub fn help_text() -> String {
                                     fig-2-style QFT sweep at minimum node counts\n\
        transpile --qubits N --ranks R [--circuit ...]\n\
                                     cache-block a circuit, show communication\n\
-       check [--root PATH] [--seed N]\n\
+       check [--root PATH] [--seed N] [--plans]\n\
                                     self-check: source lint, deadlock detector,\n\
-                                    schedule explorer (all must pass)\n"
+                                    schedule explorer (all must pass);\n\
+                                    --plans instead statically verifies the\n\
+                                    standard plan corpus (protocol matching,\n\
+                                    deadlock freedom, buffer bounds, layout\n\
+                                    soundness) and proves broken fixtures\n\
+                                    are rejected\n"
         .to_string()
 }
 
@@ -385,7 +390,10 @@ fn racy_counter_fixture(ctl: &Ctl) {
 fn check(args: &Args) -> Result<String, ArgError> {
     use qse_comm::{CommError, Universe};
     use std::time::{Duration, Instant};
-    args.expect_only(&["root", "seed"])?;
+    args.expect_only(&["root", "seed", "plans"])?;
+    if args.switch("plans") {
+        return check_plans();
+    }
     let mut out = String::new();
 
     // 1. Source lint over the workspace tree.
@@ -454,6 +462,63 @@ fn check(args: &Args) -> Result<String, ArgError> {
         }
     }
     out += "check: all engines passed\n";
+    Ok(out)
+}
+
+/// `qse check --plans`: statically verify the standard plan corpus
+/// (circuits × rank counts × exchange modes × transpile strategies),
+/// then prove the verifier still has teeth by feeding it three
+/// deliberately broken fixtures that must each be rejected with a
+/// diagnosis naming the offending plan step.
+fn check_plans() -> Result<String, ArgError> {
+    use qse_check::verify::{
+        broken_fixture_ring_overrun, broken_fixture_tag_collision,
+        broken_fixture_unrestored_layout, check_traces, verify_plan, VerifyOptions,
+    };
+    let mut out = String::new();
+
+    let cases = qse_check::standard_corpus();
+    let total = cases.len();
+    let mut gates = 0u64;
+    let mut bytes = 0u64;
+    for case in &cases {
+        let report = verify_plan(&case.plan, Some(&case.original), case.n_ranks, &case.opts)
+            .map_err(|e| ArgError(format!("plans: {} FAILED verification: {e}", case.name)))?;
+        gates += report.distributed_gates as u64;
+        bytes += report.bytes_on_wire;
+    }
+    out += &format!(
+        "plans: verified {total}/{total} corpus plans clean \
+         ({gates} distributed gates, {bytes} bytes on the wire, symbolically)\n"
+    );
+
+    // Seeded-broken fixtures: each must be rejected, and the diagnosis
+    // must carry enough detail to act on.
+    let fixtures: [(&str, Result<(), qse_check::verify::VerifyError>); 3] = [
+        ("tag collision", check_traces(&broken_fixture_tag_collision())),
+        ("ring overrun", check_traces(&broken_fixture_ring_overrun())),
+        (
+            "unrestored layout",
+            verify_plan(
+                &broken_fixture_unrestored_layout(),
+                None,
+                4,
+                &VerifyOptions::default(),
+            )
+            .map(|_| ()),
+        ),
+    ];
+    for (name, result) in fixtures {
+        match result {
+            Err(e) => out += &format!("plans: broken fixture ({name}) rejected: {e}\n"),
+            Ok(()) => {
+                return Err(ArgError(format!(
+                    "plans: broken fixture ({name}) passed verification — the verifier is blind"
+                )))
+            }
+        }
+    }
+    out += "plans: corpus proved safe; all broken fixtures rejected\n";
     Ok(out)
 }
 
@@ -678,6 +743,16 @@ mod tests {
         assert!(out.contains("schedule: lost update found"), "{out}");
         assert!(out.contains("seed 7"), "{out}");
         assert!(out.contains("all engines passed"), "{out}");
+    }
+
+    #[test]
+    fn check_plans_proves_the_corpus_and_bites_on_fixtures() {
+        let out = run_cli(&["check", "--plans"]).unwrap();
+        assert!(out.contains("verified 216/216 corpus plans clean"), "{out}");
+        assert!(out.contains("broken fixture (tag collision) rejected"), "{out}");
+        assert!(out.contains("broken fixture (ring overrun) rejected"), "{out}");
+        assert!(out.contains("broken fixture (unrestored layout) rejected"), "{out}");
+        assert!(out.contains("all broken fixtures rejected"), "{out}");
     }
 
     #[test]

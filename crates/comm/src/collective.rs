@@ -116,14 +116,17 @@ pub fn allgather(comm: &mut Communicator, payload: &[u8]) -> Result<Vec<Bytes>> 
         Vec::new()
     };
     let framed = broadcast(comm, 0, &frame)?;
-    // Decode the frame.
+    // Decode the frame. Length fields round-trip `Vec` lengths framed
+    // by a rank of this same process, so they always fit `usize` here.
     let mut cursor = 0usize;
-    let read_u64 = |buf: &[u8], at: usize| -> u64 { u64_le(&buf[at..]) };
-    let count = read_u64(&framed, cursor) as usize;
+    let read_len = |buf: &[u8], at: usize| -> usize {
+        u64_le(&buf[at..]) as usize // qse-lint: allow — in-process Vec length round-trip
+    };
+    let count = read_len(&framed, cursor);
     cursor += 8;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let len = read_u64(&framed, cursor) as usize;
+        let len = read_len(&framed, cursor);
         cursor += 8;
         out.push(framed.slice(cursor..cursor + len));
         cursor += len;

@@ -92,6 +92,16 @@ pub enum CommError {
         /// The requested classical outcome.
         bit: u8,
     },
+    /// The static plan verifier (`qse-check::verify`) refused an
+    /// execution plan before a byte moved: its symbolic trace violates
+    /// protocol matching, deadlock freedom, buffer bounds, or layout
+    /// soundness. Carries the verifier's rendered diagnosis (per-rank,
+    /// naming the offending plan step) so the pre-flight rejection is as
+    /// actionable as a runtime deadlock report.
+    PlanRejected {
+        /// Rendered verification failure.
+        detail: String,
+    },
     /// Checksummed payloads from `(src, tag)` kept failing validation and
     /// the retransmit budget ran out with no pristine copy arriving —
     /// permanent corruption on this link.
@@ -134,6 +144,10 @@ impl fmt::Display for CommError {
             CommError::ImpossibleOutcome { qubit, bit } => write!(
                 f,
                 "cannot collapse qubit {qubit} onto bit {bit}: outcome probability is numerically zero"
+            ),
+            CommError::PlanRejected { detail } => write!(
+                f,
+                "execution plan rejected by static verification: {detail}"
             ),
             CommError::Corrupt { src, tag, discarded } => write!(
                 f,
@@ -185,6 +199,12 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("qubit 6"));
         assert!(text.contains("bit 1"));
+        let e = CommError::PlanRejected {
+            detail: "tag collision on edge 0→1 at plan step 3".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("rejected by static verification"));
+        assert!(text.contains("plan step 3"));
         let e = CommError::Corrupt {
             src: 2,
             tag: 11,

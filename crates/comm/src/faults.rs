@@ -211,20 +211,30 @@ impl FaultConfig {
             v.parse::<u64>()
                 .map_err(|_| format!("fault {key} '{v}' is not an integer"))
         };
+        // Parse narrow fields at their real width so an oversized value
+        // is a spec error, not a silent truncation.
+        let int32 = |v: &str, key: &str| -> std::result::Result<u32, String> {
+            v.parse::<u32>()
+                .map_err(|_| format!("fault {key} '{v}' is not a 32-bit integer"))
+        };
+        let rank = |v: &str, key: &str| -> std::result::Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|_| format!("fault {key} '{v}' is not a rank index"))
+        };
         for (key, v) in &overrides {
             match key.as_str() {
                 "delay" => cfg.p_delay = prob(v, key)?,
                 "corrupt" => cfg.p_corrupt = prob(v, key)?,
                 "fail" => cfg.p_send_fail = prob(v, key)?,
                 "recv_fail" => cfg.p_recv_fail = prob(v, key)?,
-                "delay_slices" => cfg.max_delay_slices = int(v, key)? as u32,
-                "corrupt_burst" => cfg.max_corrupt_burst = int(v, key)? as u32,
-                "fail_burst" => cfg.max_fail_burst = int(v, key)? as u32,
-                "budget" => cfg.retry_budget = int(v, key)? as u32,
-                "stall_rank" => cfg.stall_rank = Some(int(v, key)? as usize),
+                "delay_slices" => cfg.max_delay_slices = int32(v, key)?,
+                "corrupt_burst" => cfg.max_corrupt_burst = int32(v, key)?,
+                "fail_burst" => cfg.max_fail_burst = int32(v, key)?,
+                "budget" => cfg.retry_budget = int32(v, key)?,
+                "stall_rank" => cfg.stall_rank = Some(rank(v, key)?),
                 "stall_from" => cfg.stall_window.0 = int(v, key)?,
                 "stall_len" => cfg.stall_window.1 = cfg.stall_window.0 + int(v, key)?,
-                "stall_slices" => cfg.stall_extra_slices = int(v, key)? as u32,
+                "stall_slices" => cfg.stall_extra_slices = int32(v, key)?,
                 other => return Err(format!("unknown fault spec key '{other}'")),
             }
         }

@@ -95,6 +95,14 @@ impl ThreadClusterExecutor {
         let plan = comm_avoid_plan(circuit, config);
         let step_count = plan.as_ref().map_or(circuit.len(), |p| p.steps.len());
 
+        // Debug-mode pre-flight gate: prove the plan's exchange schedule
+        // safe (protocol matching, deadlock freedom, buffer bounds,
+        // layout soundness) before any rank posts a byte. Release builds
+        // skip the pass; the plan corpus and property suites carry the
+        // proof there.
+        #[cfg(debug_assertions)]
+        Self::verify_plan_pre_flight(circuit, config, plan.as_ref())?;
+
         let universe = match config.faults {
             Some(fc) => Universe::with_faults(n_ranks, fc)?,
             None => Universe::new(n_ranks),
@@ -180,6 +188,34 @@ impl ThreadClusterExecutor {
                 corruptions_detected: corruptions,
             },
             state,
+        })
+    }
+
+    /// Debug-build pre-flight: statically verify the exchange schedule the
+    /// run would execute (transpiled plan when one exists, otherwise the
+    /// raw circuit) and reject unverifiable plans with a typed error
+    /// carrying the verifier's per-rank diagnosis.
+    #[cfg(debug_assertions)]
+    fn verify_plan_pre_flight(
+        circuit: &Circuit,
+        config: &SimConfig,
+        plan: Option<&Plan>,
+    ) -> Result<(), CommError> {
+        let dc = config.to_dist_config();
+        let opts = qse_check::verify::VerifyOptions {
+            exchange_mode: dc.exchange_mode,
+            chunk_policy: dc.chunk_policy,
+            half_exchange_swaps: dc.half_exchange_swaps,
+            min_fuse: dc.min_fuse,
+            ..qse_check::verify::VerifyOptions::default()
+        };
+        match plan {
+            Some(p) => qse_check::verify::verify_plan(p, Some(circuit), config.n_ranks, &opts),
+            None => qse_check::verify::verify_circuit(circuit, config.n_ranks, &opts),
+        }
+        .map(|_| ())
+        .map_err(|e| CommError::PlanRejected {
+            detail: e.to_string(),
         })
     }
 }
@@ -331,6 +367,27 @@ mod tests {
                 on.profiled.bytes_exchanged,
                 off.profiled.bytes_exchanged
             );
+        }
+    }
+
+    #[test]
+    fn pre_flight_rejects_a_broken_plan() {
+        // A plan whose final permute is never undone must be refused by
+        // the debug-mode gate before any rank posts a byte.
+        let mut c = Circuit::new(4);
+        c.h(0).cnot(0, 3);
+        let plan = qse_check::verify::broken_fixture_unrestored_layout();
+        let err = ThreadClusterExecutor::verify_plan_pre_flight(
+            &c,
+            &SimConfig::default_for(4),
+            Some(&plan),
+        )
+        .expect_err("broken plan must be rejected");
+        match &err {
+            CommError::PlanRejected { detail } => {
+                assert!(detail.contains("layout"), "diagnosis was: {detail}")
+            }
+            other => panic!("expected PlanRejected, got {other:?}"),
         }
     }
 

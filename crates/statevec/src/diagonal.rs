@@ -83,7 +83,7 @@ pub fn diagonal_phase(gate: &Gate, index: u64) -> Complex64 {
         }
         Gate::Unitary2 { a, b, matrix } => {
             debug_assert!(matrix.is_diagonal(1e-14), "non-diagonal unitary");
-            let idx = ((bits::bit(index, b) << 1) | bits::bit(index, a)) as usize;
+            let idx = crate::ix((bits::bit(index, b) << 1) | bits::bit(index, a));
             matrix.at(idx, idx)
         }
         ref g => unreachable!("diagonal_phase called on non-diagonal gate {g}"),
@@ -257,7 +257,7 @@ impl PhaseOp {
             }
             PhaseOp::Table4 { a, b, d } => {
                 let idx = (((index >> b) & 1) << 1) | ((index >> a) & 1);
-                d[idx as usize]
+                d[crate::ix(idx)]
             }
         }
     }

@@ -103,7 +103,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         config: DistConfig,
     ) -> Self {
         let layout = Layout::new(n_qubits, comm.size() as u64);
-        let mut amps = S::zeros(layout.local_amps() as usize);
+        let mut amps = S::zeros(crate::ix(layout.local_amps()));
         let offset = comm.rank() as u64 * layout.local_amps();
         init_basis(&mut amps, offset, index);
         DistributedState {
@@ -348,8 +348,8 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             }
             other => other,
         };
-        let pair = self.layout.pair_rank(self.rank() as u64, target) as usize;
-        let b = self.rank_bit_value(target) as usize;
+        let pair = crate::ix(self.layout.pair_rank(self.rank() as u64, target));
+        let b = crate::ix(self.rank_bit_value(target));
         if self.config.exchange_mode == ExchangeMode::Streamed {
             let (c_mine, c_theirs) = (m.at(b, b), m.at(b, 1 - b));
             self.amps.write_f64_into(&mut self.send_f64);
@@ -391,7 +391,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 s.matmul(&m.matmul(&s))
             };
             let g = self.rank_bit_value(hi);
-            let pair = self.layout.pair_rank(self.rank() as u64, hi) as usize;
+            let pair = crate::ix(self.layout.pair_rank(self.rank() as u64, hi));
             if self.config.exchange_mode == ExchangeMode::Streamed {
                 // Chunks must cover whole |hi lo⟩ orbits of 2^{lo+1}
                 // amplitudes so the 4×4 combine never straddles a chunk.
@@ -432,7 +432,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         if self.layout.is_local(lo) {
             // One local qubit `lo`, one global qubit `hi`.
             let g = self.rank_bit_value(hi);
-            let pair = self.layout.pair_rank(self.rank() as u64, hi) as usize;
+            let pair = crate::ix(self.layout.pair_rank(self.rank() as u64, hi));
             if self.config.half_exchange_swaps {
                 // Send the half the peer needs (bit_lo == 1−g), receive the
                 // half we need (bit_lo == g on their side), and write it
@@ -463,9 +463,9 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
                 let half = self.amps.len() as u64 / 2;
                 for k in 0..half {
                     let l = bits::insert_zero_bit(k, lo) | ((1 - g) << lo);
-                    let src = bits::flip_bit(l, lo) as usize;
+                    let src = crate::ix(bits::flip_bit(l, lo));
                     self.amps.set(
-                        l as usize,
+                        crate::ix(l),
                         Complex64::new(theirs[2 * src], theirs[2 * src + 1]),
                     );
                 }
@@ -481,7 +481,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             }
             let mask =
                 (1u64 << self.layout.rank_bit(lo)) | (1u64 << self.layout.rank_bit(hi));
-            let pair = (self.rank() as u64 ^ mask) as usize;
+            let pair = crate::ix(self.rank() as u64 ^ mask);
             if self.config.exchange_mode == ExchangeMode::Streamed {
                 self.amps.write_f64_into(&mut self.send_f64);
                 self.streamed_exchange_apply(pair, tag, 1, |amps, start, chunk| {
@@ -570,7 +570,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         }
 
         let tag = self.next_tag();
-        let ranks = self.layout.n_ranks() as usize;
+        let ranks = crate::ix(self.layout.n_ranks());
         let local_amps = self.layout.local_amps();
         let mask = local_amps - 1;
         let me = self.rank() as u64;
@@ -578,14 +578,14 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         // Pack per-destination blocks in ascending source order; stay-put
         // amplitudes scatter straight into the staging vector.
         let mut staging = std::mem::take(&mut self.recv_f64);
-        staging.resize(2 * local_amps as usize, 0.0);
+        staging.resize(2 * crate::ix(local_amps), 0.0);
         let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); ranks];
         for sl in 0..local_amps {
             let d = perm.permute_index((me << l) | sl);
-            let amp = self.amps.get(sl as usize);
-            let v = (d >> l) as usize;
+            let amp = self.amps.get(crate::ix(sl));
+            let v = crate::ix(d >> l);
             if v as u64 == me {
-                let dl = (d & mask) as usize;
+                let dl = crate::ix(d & mask);
                 staging[2 * dl] = amp.re;
                 staging[2 * dl + 1] = amp.im;
             } else {
@@ -627,7 +627,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             for sl in 0..local_amps {
                 let d = perm.permute_index((w << l) | sl);
                 if d >> l == me {
-                    dests.push((d & mask) as usize);
+                    dests.push(crate::ix(d & mask));
                 }
             }
             if dests.is_empty() {
@@ -636,7 +636,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             let total = dests.len() * 16;
             let mut filled = 0usize;
             for (idx, range) in self.config.chunk_policy.ranges(total).enumerate() {
-                let payload = self.comm.recv(w as usize, chunk_tag(tag, idx))?;
+                let payload = self.comm.recv(crate::ix(w), chunk_tag(tag, idx))?;
                 debug_assert_eq!(payload.len(), range.len(), "chunk length");
                 let buf = &mut self.recv_ring[0];
                 buf.resize(payload.len() / 8, 0.0);
@@ -700,7 +700,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             let mut p = 0.0;
             for i in 0..self.amps.len() as u64 {
                 if i & mask != 0 {
-                    p += self.amps.get(i as usize).norm_sqr();
+                    p += self.amps.get(crate::ix(i)).norm_sqr();
                 }
             }
             p
@@ -768,11 +768,11 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
             let mask = 1u64 << qubit;
             for i in 0..self.amps.len() as u64 {
                 let v = if u8::from(i & mask != 0) == bit {
-                    self.amps.get(i as usize).scale(scale)
+                    self.amps.get(crate::ix(i)).scale(scale)
                 } else {
                     Complex64::ZERO
                 };
-                self.amps.set(i as usize, v);
+                self.amps.set(crate::ix(i), v);
             }
         } else if self.rank_bit_value(qubit) as u8 == bit {
             // Whole local slice survives, rescaled.
@@ -811,7 +811,7 @@ impl<'c, S: AmpStorage> DistributedState<'c, S> {
         let Some(parts) = collective::gather(self.comm, 0, &local)? else {
             return Ok(None);
         };
-        let mut full = Vec::with_capacity((self.layout.local_amps() as usize) * parts.len());
+        let mut full = Vec::with_capacity(crate::ix(self.layout.local_amps()) * parts.len());
         for part in parts {
             let values = bytes_to_f64s(&part);
             for pair in values.chunks_exact(2) {

@@ -206,7 +206,7 @@ pub fn collapse<S: AmpStorage>(
 impl<S: AmpStorage> SingleState<S> {
     /// Writes one amplitude directly (measurement collapse and tests).
     pub fn set_amplitude(&mut self, index: u64, v: Complex64) {
-        self.storage_mut().set(index as usize, v);
+        self.storage_mut().set(crate::ix(index), v);
     }
 }
 

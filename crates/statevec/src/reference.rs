@@ -26,9 +26,9 @@ impl ReferenceState {
     pub fn basis_state(n_qubits: u32, index: u64) -> Self {
         assert!(n_qubits <= 24, "reference simulator capped at 24 qubits");
         let dim = 1usize << n_qubits;
-        assert!((index as usize) < dim, "basis index out of range");
+        assert!(crate::ix(index) < dim, "basis index out of range");
         let mut amps = vec![Complex64::ZERO; dim];
-        amps[index as usize] = Complex64::ONE;
+        amps[crate::ix(index)] = Complex64::ONE;
         ReferenceState { n_qubits, amps }
     }
 
@@ -74,7 +74,7 @@ impl ReferenceState {
         match *gate {
             Gate::Swap(a, b) => {
                 for (i, amp) in self.amps.iter().enumerate() {
-                    let j = qse_math::bits::swap_bits(i as u64, a, b) as usize;
+                    let j = crate::ix(qse_math::bits::swap_bits(i as u64, a, b));
                     next[j] = *amp;
                 }
             }

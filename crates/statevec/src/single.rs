@@ -57,7 +57,7 @@ impl<S: AmpStorage> SingleState<S> {
 
     /// Reads one amplitude.
     pub fn amplitude(&self, index: u64) -> Complex64 {
-        self.amps.get(index as usize)
+        self.amps.get(crate::ix(index))
     }
 
     /// All amplitudes as complex values (tests; O(2^n) allocation).
@@ -132,7 +132,7 @@ impl<S: AmpStorage> SingleState<S> {
         let mask = 1u64 << qubit;
         for i in 0..self.amps.len() as u64 {
             if i & mask != 0 {
-                p += self.amps.get(i as usize).norm_sqr();
+                p += self.amps.get(crate::ix(i)).norm_sqr();
             }
         }
         p

@@ -448,7 +448,7 @@ impl AmpStorage for AosStorage {
         out.clear();
         out.reserve(half * 2);
         for k in 0..half as u64 {
-            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            let i = crate::ix(bits::insert_zero_bit(k, q) | (v << q));
             out.push(self.amps[i].re);
             out.push(self.amps[i].im);
         }
@@ -458,8 +458,8 @@ impl AmpStorage for AosStorage {
         let half = self.len() / 2;
         assert_eq!(data.len(), half * 2, "half buffer size mismatch");
         for k in 0..half as u64 {
-            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
-            self.amps[i] = Complex64::new(data[2 * k as usize], data[2 * k as usize + 1]);
+            let i = crate::ix(bits::insert_zero_bit(k, q) | (v << q));
+            self.amps[i] = Complex64::new(data[2 * crate::ix(k)], data[2 * crate::ix(k) + 1]);
         }
     }
 }

@@ -212,7 +212,7 @@ pub trait AmpStorage: Send + Sync + Sized + Clone {
         assert!(start_pair + n <= self.len() / 2, "chunk beyond half slice");
         for j in 0..n {
             let k = (start_pair + j) as u64;
-            let i = (qse_math::bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            let i = crate::ix(qse_math::bits::insert_zero_bit(k, q) | (v << q));
             self.set(i, Complex64::new(chunk[2 * j], chunk[2 * j + 1]));
         }
     }
@@ -231,7 +231,7 @@ pub trait AmpStorage: Send + Sync + Sized + Clone {
         assert!((1u64 << a) < len && (1u64 << b) < len, "qubit out of range");
         for k in 0..len / 4 {
             let base = qse_math::bits::insert_two_zero_bits(k, a, b);
-            let idx = |bb: u64, aa: u64| (base | (aa << a) | (bb << b)) as usize;
+            let idx = |bb: u64, aa: u64| crate::ix(base | (aa << a) | (bb << b));
             let orbit = [
                 self.get(idx(0, 0)),
                 self.get(idx(0, 1)),
@@ -284,17 +284,17 @@ pub trait AmpStorage: Send + Sync + Sized + Clone {
         // insert_zero_bit(k, a) is monotone, so the orbit bases inside an
         // aligned range [start, start+n) are exactly k in [start/2, (start+n)/2).
         for k in (start as u64 / 2)..((start + n) as u64 / 2) {
-            let i0 = qse_math::bits::insert_zero_bit(k, a) as usize;
+            let i0 = crate::ix(qse_math::bits::insert_zero_bit(k, a));
             let i1 = i0 | (1usize << a);
             // Orbit amplitudes v[(b<<1)|a]: b == g comes from this rank.
             let mut v = [Complex64::ZERO; 4];
-            v[(g << 1) as usize] = self.get(i0);
-            v[((g << 1) | 1) as usize] = self.get(i1);
-            v[((1 - g) << 1) as usize] = read_chunk(i0);
-            v[(((1 - g) << 1) | 1) as usize] = read_chunk(i1);
+            v[crate::ix(g << 1)] = self.get(i0);
+            v[crate::ix((g << 1) | 1)] = self.get(i1);
+            v[crate::ix((1 - g) << 1)] = read_chunk(i0);
+            v[crate::ix(((1 - g) << 1) | 1)] = read_chunk(i1);
             let out = m.apply(v);
-            self.set(i0, out[(g << 1) as usize]);
-            self.set(i1, out[((g << 1) | 1) as usize]);
+            self.set(i0, out[crate::ix(g << 1)]);
+            self.set(i1, out[crate::ix((g << 1) | 1)]);
         }
     }
 }
@@ -305,7 +305,7 @@ pub fn init_basis<S: AmpStorage>(storage: &mut S, offset: u64, basis: u64) {
     storage.fill_zero();
     let len = storage.len() as u64;
     if basis >= offset && basis < offset + len {
-        storage.set((basis - offset) as usize, Complex64::ONE);
+        storage.set(crate::ix(basis - offset), Complex64::ONE);
     }
 }
 

@@ -610,7 +610,7 @@ impl AmpStorage for SoaStorage {
         out.clear();
         out.reserve(half * 2);
         for k in 0..half as u64 {
-            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
+            let i = crate::ix(bits::insert_zero_bit(k, q) | (v << q));
             out.push(self.re[i]);
             out.push(self.im[i]);
         }
@@ -620,9 +620,9 @@ impl AmpStorage for SoaStorage {
         let half = self.len() / 2;
         assert_eq!(data.len(), half * 2, "half buffer size mismatch");
         for k in 0..half as u64 {
-            let i = (bits::insert_zero_bit(k, q) | (v << q)) as usize;
-            self.re[i] = data[2 * k as usize];
-            self.im[i] = data[2 * k as usize + 1];
+            let i = crate::ix(bits::insert_zero_bit(k, q) | (v << q));
+            self.re[i] = data[2 * crate::ix(k)];
+            self.im[i] = data[2 * crate::ix(k) + 1];
         }
     }
 }

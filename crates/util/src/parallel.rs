@@ -57,6 +57,8 @@ pub fn num_threads() -> usize {
 struct DrainPtr(*const (dyn Fn() + Sync));
 // SAFETY: the pointee is `Sync` and is only called, never moved.
 unsafe impl Send for DrainPtr {}
+// SAFETY: same argument as `Send` — shared references only ever call
+// the `Sync` pointee.
 unsafe impl Sync for DrainPtr {}
 
 /// Mutable half of a job, guarded by `Job::state`.
@@ -150,6 +152,9 @@ fn worker_loop(pool: &'static Pool) {
         job.state.lock().expect("job state poisoned").active += 1;
         drop(q);
 
+        // SAFETY: the job was still queued under the lock above, so the
+        // submitting caller is blocked in `run_job` and the pointee is
+        // alive for the whole call.
         let result = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.drain.0 })()));
 
         // The drain returned: its cursor is exhausted (or it panicked and
@@ -180,11 +185,11 @@ fn run_job(drain: &(dyn Fn() + Sync)) {
     let job = {
         let mut q = pool.queue.lock().expect("pool queue poisoned");
         q.next_id += 1;
-        // SAFETY: erase the closure's lifetime; this function does not
-        // return until no worker can touch the pointer again.
         let raw: *const (dyn Fn() + Sync) = drain;
         let job = Arc::new(Job {
             id: q.next_id,
+            // SAFETY: erases the closure's lifetime; this function does
+            // not return until no worker can touch the pointer again.
             drain: DrainPtr(unsafe {
                 std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
                     raw,
